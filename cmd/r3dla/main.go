@@ -1,0 +1,60 @@
+// Command r3dla regenerates the tables and figures of the R3-DLA paper
+// (Kondguli & Huang, HPCA 2019) from the simulator in this repository.
+//
+// Usage:
+//
+//	r3dla -exp fig9a                # one experiment
+//	r3dla -exp all -budget 300000   # everything, bigger runs
+//	r3dla -list                     # what's available
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"r3dla/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		budget  = flag.Uint64("budget", 150_000, "committed instructions per simulation")
+		list    = flag.Bool("list", false, "list available experiments")
+		verbose = flag.Bool("v", false, "per-workload detail")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		fmt.Print(exp.List())
+		if *expID == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ctx := exp.NewContext(*budget)
+	ctx.Verbose = *verbose
+
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		out := e.Run(ctx)
+		fmt.Println(out)
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID == "all" {
+		for _, e := range exp.Registry {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.ByID(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n%s", *expID, exp.List())
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,63 @@
+// Command skelgen inspects the skeletons generated for a workload: per
+// version sizes, T1 marks, forced branches, and (with -dump) the masked
+// listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"r3dla/internal/core"
+	"r3dla/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("w", "mcf", "workload name")
+		train = flag.Uint64("train", 80_000, "training-run instruction budget")
+		dump  = flag.Bool("dump", false, "dump the baseline skeleton listing")
+	)
+	flag.Parse()
+
+	w := workloads.ByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; available: %v\n", *name, workloads.Names())
+		os.Exit(2)
+	}
+	prog, setup := w.Build(1)
+	prof := core.Collect(prog, setup, *train)
+	set := core.Generate(prog, prof)
+
+	fmt.Printf("workload %s (%s): %d static instructions\n\n", w.Name, w.Suite, len(prog.Insts))
+	fmt.Println("baseline:", set.Baseline.Describe())
+	for i, v := range set.Versions {
+		fmt.Printf("version %d: %s\n", i, v.Describe())
+	}
+	marks := 0
+	for _, s := range set.SBits {
+		if s {
+			marks++
+		}
+	}
+	fmt.Printf("T1 S-bit marks: %d\n", marks)
+
+	if *dump {
+		fmt.Println("\npc  mask  inst")
+		for pc, in := range prog.Insts {
+			mark := " "
+			if set.Baseline.Include[pc] {
+				mark = "*"
+			}
+			s := ""
+			if set.SBits[pc] {
+				s = " [S]"
+			}
+			f := ""
+			if t, ok := set.Baseline.Forced(pc); ok {
+				f = fmt.Sprintf(" [forced %v]", t)
+			}
+			fmt.Printf("%4d  %s  %v%s%s\n", pc, mark, in.String(), s, f)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command wlinfo characterizes the workload suite: dynamic instruction
+// mixes, branch predictability and cache-miss profiles under the baseline
+// core — a quick sanity view of what each benchmark stresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"r3dla/internal/core"
+	"r3dla/internal/isa"
+	"r3dla/internal/workloads"
+)
+
+func main() {
+	budget := flag.Uint64("budget", 60_000, "instructions per characterization run")
+	flag.Parse()
+
+	fmt.Printf("%-10s %-6s %6s %6s %6s %8s %8s %8s\n",
+		"name", "suite", "load%", "store%", "br%", "L1mpki", "L2mpki", "strided")
+	for _, w := range workloads.All() {
+		prog, setup := w.Build(1)
+		prof := core.Collect(prog, setup, *budget)
+
+		var loads, stores, branches, total uint64
+		var l1m, l2m uint64
+		strided := 0
+		for pc := range prog.Insts {
+			st := &prof.PCs[pc]
+			total += st.Exec
+			op := prog.Insts[pc].Op
+			switch {
+			case op.IsLoad():
+				loads += st.Exec
+				l1m += st.L1Miss
+				l2m += st.L2Miss
+				if st.Strided() {
+					strided++
+				}
+			case op.IsStore():
+				stores += st.Exec
+			case op.Class() == isa.ClassBranch:
+				branches += st.Exec
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		p := func(x uint64) float64 { return float64(x) / float64(total) * 100 }
+		fmt.Printf("%-10s %-6s %5.1f%% %5.1f%% %5.1f%% %8.2f %8.2f %8d\n",
+			w.Name, w.Suite, p(loads), p(stores), p(branches),
+			float64(l1m)/float64(total)*1000, float64(l2m)/float64(total)*1000, strided)
+	}
+}

@@ -1,0 +1,47 @@
+// Prefetch study: who covers which misses? Compares a hardware stride
+// prefetcher against the T1 offload engine on strided and irregular
+// workloads — the Sec. IV-C1 story: T1 is a dumb FSM carrying out orders
+// from the software, so it beats a general-purpose stride prefetcher on
+// both performance and traffic.
+package main
+
+import (
+	"fmt"
+
+	"r3dla"
+	"r3dla/internal/core"
+)
+
+func main() {
+	const train = 60_000
+	const budget = 150_000
+
+	cfgs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"DLA", r3dla.DLAOptions()},
+		{"DLA+Stride", core.Options{WithBOP: true, WithStride: true}},
+		{"DLA+T1", core.Options{WithBOP: true, T1: true}},
+	}
+
+	for _, name := range []string{"libq", "rgbyuv", "mg", "mcf", "sjeng"} {
+		w := r3dla.Workload(name)
+		tp, ts := w.Build(1)
+		prof := r3dla.Profile(tp, ts, train)
+		ep, es := w.Build(2)
+		set := r3dla.Skeletons(ep, prof)
+
+		fmt.Printf("%s:\n", name)
+		var dlaIPC, dlaTraffic float64
+		for i, cfg := range cfgs {
+			r := r3dla.NewSystem(ep, es, set, prof, cfg.opt).Run(budget)
+			traffic := float64(r.Shared.DRAM.Traffic())
+			if i == 0 {
+				dlaIPC, dlaTraffic = r.IPC(), traffic
+			}
+			fmt.Printf("  %-11s IPC %6.3f (%.2fx)  traffic %.2fx  LT insts %d\n",
+				cfg.name, r.IPC(), r.IPC()/dlaIPC, traffic/dlaTraffic, r.LT.Committed)
+		}
+	}
+}

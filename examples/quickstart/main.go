@@ -1,0 +1,82 @@
+// Quickstart: assemble a small program with the builder, profile it,
+// generate skeletons, and compare the baseline core against DLA and
+// R3-DLA — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	"r3dla"
+	"r3dla/internal/isa"
+)
+
+// makeProgram builds a gather loop: sum += table[index[i]] over a large
+// index array — the canonical pattern look-ahead accelerates (the gather
+// address is computable far ahead of the data).
+func makeProgram() (*r3dla.Program, func(*r3dla.Memory)) {
+	const n = 1 << 16
+	b := r3dla.NewBuilder("quickstart")
+	b.Li(1, 1<<30) // outer repetitions (budget-bounded)
+	b.Label("outer")
+	b.Li(2, 0x100000) // index array
+	b.Li(3, n)
+	b.Label("loop")
+	b.Ld(4, 2, 0) // idx = index[i]
+	b.I(isa.SHLI, 4, 4, 3)
+	b.Li(5, 0x4000000)
+	b.R(isa.ADD, 5, 5, 4)
+	b.Ld(6, 5, 0) // v = table[idx]  (random gather)
+	b.R(isa.ADD, 7, 7, 6)
+	// Some "real work" on v that the skeleton strips:
+	b.R(isa.MUL, 8, 6, 7)
+	b.I(isa.SHRI, 9, 8, 3)
+	b.R(isa.XOR, 8, 8, 9)
+	b.R(isa.ADD, 10, 10, 8)
+	b.R(isa.MUL, 10, 10, 6)
+	b.I(isa.ADDI, 10, 10, 7)
+	b.Li(9, 0x9000000)
+	b.St(10, 9, 0)
+	b.I(isa.ADDI, 2, 2, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Br(isa.BNE, 3, isa.RegZero, "loop")
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Br(isa.BNE, 1, isa.RegZero, "outer")
+	b.Halt()
+	prog := b.Program()
+
+	setup := func(m *r3dla.Memory) {
+		state := uint64(12345)
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			m.Write(uint64(0x100000+i*8), (state>>33)%(1<<20))
+		}
+	}
+	return prog, setup
+}
+
+func main() {
+	prog, setup := makeProgram()
+
+	fmt.Println("profiling (training run)...")
+	prof := r3dla.Profile(prog, setup, 80_000)
+	set := r3dla.Skeletons(prog, prof)
+	fmt.Printf("skeleton: %s\n\n", set.Baseline.Describe())
+
+	const budget = 150_000
+	run := func(name string, opt r3dla.SystemOptions) float64 {
+		sys := r3dla.NewSystem(prog, setup, set, prof, opt)
+		r := sys.Run(budget)
+		fmt.Printf("%-8s IPC %.3f", name, r.IPC())
+		if r.LT != nil {
+			fmt.Printf("   (LT executed %d insts, %d reboots)", r.LT.Committed, r.Reboots)
+		}
+		fmt.Println()
+		return r.IPC()
+	}
+
+	base := run("baseline", r3dla.BaselineOptions())
+	dla := run("DLA", r3dla.DLAOptions())
+	r3 := run("R3-DLA", r3dla.R3Options())
+
+	fmt.Printf("\nspeedup: DLA %.2fx, R3-DLA %.2fx\n", dla/base, r3/base)
+}

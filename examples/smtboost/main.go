@@ -1,0 +1,43 @@
+// SMT boosting: the Sec. IV-B3 usage scenario. A wide SMT-capable core
+// can either run one thread wide (FC), split into two half-cores running
+// a DLA pair (look-ahead boosting), or run two copies for throughput.
+// This example compares the three on a few representative workloads.
+package main
+
+import (
+	"fmt"
+
+	"r3dla"
+	"r3dla/internal/exp"
+	"r3dla/internal/pipeline"
+)
+
+func main() {
+	const budget = 100_000
+	ctx := exp.NewContext(budget)
+
+	half := pipeline.HalfConfig()
+	wide := pipeline.WideConfig()
+
+	fmt.Printf("%-8s %8s %8s %8s   (normalized to half-core)\n", "bench", "FC", "DLA", "R3-DLA")
+	for _, name := range []string{"mcf", "libq", "bfs", "md5", "cg"} {
+		p := ctx.Prep(name)
+
+		hc, _ := exp.BaselineMetricsOn(p, half, budget, true)
+		fc, _ := exp.BaselineMetricsOn(p, wide, budget, true)
+
+		dlaOpt := r3dla.DLAOptions()
+		dlaOpt.CoreCfg = &half
+		dla := ctx.RunDLA(p, dlaOpt)
+
+		r3Opt := r3dla.R3Options()
+		r3Opt.CoreCfg = &half
+		r3 := ctx.RunDLA(p, r3Opt)
+
+		base := hc.IPC()
+		fmt.Printf("%-8s %7.2fx %7.2fx %7.2fx\n",
+			name, fc.IPC()/base, dla.IPC()/base, r3.IPC()/base)
+	}
+	fmt.Println("\nFC = whole wide core on one thread; DLA/R3-DLA = the same core")
+	fmt.Println("split into two half-cores running a look-ahead pair.")
+}

@@ -1,0 +1,133 @@
+// Package analytic implements the Appendix B probabilistic fetch-buffer
+// model: the fetch queue as a Markov chain whose transition structure
+// derives from empirically measured instruction supply (I-cache or trace
+// cache) and demand (decode) distributions. It regenerates Fig. 5 and the
+// theoretical half of Fig. 14.
+package analytic
+
+// Model holds the two empirical distributions: D[j] = P(decode demands j
+// instructions), S[s] = P(the fetch unit can supply s instructions).
+type Model struct {
+	D []float64
+	S []float64
+}
+
+// NewModel normalizes the given distributions.
+func NewModel(demand, supply []float64) *Model {
+	return &Model{D: normalize(demand), S: normalize(supply)}
+}
+
+func normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	out := make([]float64, len(xs))
+	if sum == 0 {
+		if len(out) > 0 {
+			out[0] = 1
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// changeDist convolves supply and (negated) demand into the distribution
+// of per-cycle queue-length change: C[δ + maxW] = P(change = δ),
+// δ ∈ [-maxW, +maxS].
+func (m *Model) changeDist() (c []float64, maxW int) {
+	maxW = len(m.D) - 1
+	maxS := len(m.S) - 1
+	c = make([]float64, maxW+maxS+1)
+	for s, ps := range m.S {
+		for w, pw := range m.D {
+			c[s-w+maxW] += ps * pw
+		}
+	}
+	return c, maxW
+}
+
+// Transition builds the (N+1)x(N+1) column-stochastic transition matrix
+// P[i][j] = P(queue becomes i | queue is j) for capacity N, with boundary
+// absorption at 0 and N (Appendix B).
+func (m *Model) Transition(capacity int) [][]float64 {
+	c, maxW := m.changeDist()
+	n := capacity
+	p := make([][]float64, n+1)
+	for i := range p {
+		p[i] = make([]float64, n+1)
+	}
+	for j := 0; j <= n; j++ {
+		for k, pk := range c {
+			if pk == 0 {
+				continue
+			}
+			delta := k - maxW
+			i := j + delta
+			if i < 0 {
+				i = 0
+			}
+			if i > n {
+				i = n
+			}
+			p[i][j] += pk
+		}
+	}
+	return p
+}
+
+// QueueDist computes the steady-state queue-length distribution Qss for
+// the given capacity by power iteration (Qss is the eigenvector of
+// eigenvalue 1; Perron-Frobenius guarantees convergence).
+func (m *Model) QueueDist(capacity int) []float64 {
+	p := m.Transition(capacity)
+	n := capacity + 1
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 100000; iter++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += p[i][j] * q[j]
+			}
+			next[i] = s
+		}
+		var diff float64
+		for i := range q {
+			d := next[i] - q[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		q, next = next, q
+		if diff < 1e-13 {
+			break
+		}
+	}
+	return q
+}
+
+// ExpectedBubbles computes E(FB) = Σ_i Q_i Σ_{j>i} D_j (j - i): the mean
+// number of decode slots the queue fails to fill per cycle.
+func (m *Model) ExpectedBubbles(capacity int) float64 {
+	q := m.QueueDist(capacity)
+	var e float64
+	for i, qi := range q {
+		if qi == 0 {
+			continue
+		}
+		var inner float64
+		for j := i + 1; j < len(m.D); j++ {
+			inner += m.D[j] * float64(j-i)
+		}
+		e += qi * inner
+	}
+	return e
+}

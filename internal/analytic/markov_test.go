@@ -1,0 +1,140 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostOne(xs []float64) bool {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return math.Abs(s-1) < 1e-9
+}
+
+func TestTransitionColumnsStochastic(t *testing.T) {
+	m := NewModel([]float64{0.2, 0.3, 0.3, 0.1, 0.1}, []float64{0.1, 0.2, 0.3, 0.4})
+	p := m.Transition(8)
+	for j := 0; j <= 8; j++ {
+		var s float64
+		for i := 0; i <= 8; i++ {
+			s += p[i][j]
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("column %d sums to %f", j, s)
+		}
+	}
+}
+
+func TestQueueDistIsDistribution(t *testing.T) {
+	m := NewModel([]float64{0.2, 0.2, 0.3, 0.2, 0.1}, []float64{0.3, 0.1, 0.2, 0.2, 0.2})
+	q := m.QueueDist(16)
+	if !almostOne(q) {
+		t.Fatal("steady state not a distribution")
+	}
+	for i, p := range q {
+		if p < -1e-12 {
+			t.Fatalf("negative probability at %d: %g", i, p)
+		}
+	}
+}
+
+func TestSteadyStateIsFixedPoint(t *testing.T) {
+	m := NewModel([]float64{0.3, 0.2, 0.2, 0.2, 0.1}, []float64{0.2, 0.1, 0.2, 0.2, 0.3})
+	const cap = 12
+	q := m.QueueDist(cap)
+	p := m.Transition(cap)
+	for i := 0; i <= cap; i++ {
+		var s float64
+		for j := 0; j <= cap; j++ {
+			s += p[i][j] * q[j]
+		}
+		if math.Abs(s-q[i]) > 1e-8 {
+			t.Fatalf("Pq != q at %d: %g vs %g", i, s, q[i])
+		}
+	}
+}
+
+func TestSupplyExceedsDemandFillsQueue(t *testing.T) {
+	// Rich supply vs weak demand: queue should sit near capacity.
+	m := NewModel(
+		[]float64{0.8, 0.2, 0, 0, 0},         // demand mostly 0-1
+		[]float64{0.05, 0.05, 0.1, 0.2, 0.6}, // supply mostly 4
+	)
+	q := m.QueueDist(8)
+	if q[8] < 0.5 {
+		t.Fatalf("queue not full under surplus supply: P(8)=%f", q[8])
+	}
+}
+
+func TestDemandExceedsSupplyDrainsQueue(t *testing.T) {
+	m := NewModel(
+		[]float64{0, 0, 0.1, 0.3, 0.6},
+		[]float64{0.6, 0.3, 0.1, 0, 0},
+	)
+	q := m.QueueDist(8)
+	if q[0] < 0.5 {
+		t.Fatalf("queue not empty under surplus demand: P(0)=%f", q[0])
+	}
+}
+
+func TestBiggerBufferReducesBubbles(t *testing.T) {
+	// Balanced but bursty flows: capacity should monotonically help.
+	m := NewModel(
+		[]float64{0.3, 0.1, 0.1, 0.2, 0.3},
+		[]float64{0.35, 0.05, 0.1, 0.2, 0.2, 0.05, 0.05},
+	)
+	prev := math.Inf(1)
+	for _, c := range []int{4, 8, 16, 32} {
+		e := m.ExpectedBubbles(c)
+		if e > prev+1e-9 {
+			t.Fatalf("bubbles increased with capacity %d: %f > %f", c, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestBubblesBoundedByDemand(t *testing.T) {
+	f := func(ds, ss []uint8) bool {
+		if len(ds) < 2 || len(ss) < 2 {
+			return true
+		}
+		if len(ds) > 6 {
+			ds = ds[:6]
+		}
+		if len(ss) > 8 {
+			ss = ss[:8]
+		}
+		d := make([]float64, len(ds))
+		s := make([]float64, len(ss))
+		var dok, sok bool
+		for i, v := range ds {
+			d[i] = float64(v)
+			if v > 0 {
+				dok = true
+			}
+		}
+		for i, v := range ss {
+			s[i] = float64(v)
+			if v > 0 {
+				sok = true
+			}
+		}
+		if !dok || !sok {
+			return true
+		}
+		m := NewModel(d, s)
+		e := m.ExpectedBubbles(8)
+		// E[FB] can never exceed mean demand.
+		var meanD float64
+		for j, p := range m.D {
+			meanD += float64(j) * p
+		}
+		return e >= -1e-9 && e <= meanD+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictorLearnsAlwaysTaken(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x40) {
+			miss++
+		}
+		p.Update(0x40, true)
+	}
+	if miss > 5 {
+		t.Fatalf("always-taken branch mispredicted %d/1000 times", miss)
+	}
+}
+
+func TestPredictorLearnsAlternating(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		if p.Predict(0x80) != taken {
+			miss++
+		}
+		p.Update(0x80, taken)
+	}
+	// History-based tables must capture a period-2 pattern after warmup.
+	if miss > 400 {
+		t.Fatalf("alternating branch mispredicted %d/4000 times", miss)
+	}
+}
+
+func TestPredictorLearnsLoopExit(t *testing.T) {
+	// A loop of 8 iterations: 7 taken, 1 not-taken, repeating. TAGE with
+	// history >= 8 should learn the exit.
+	p := NewPredictor(DefaultConfig())
+	miss := 0
+	total := 0
+	for rep := 0; rep < 600; rep++ {
+		for i := 0; i < 8; i++ {
+			taken := i != 7
+			total++
+			if rep > 100 { // after warmup
+				if p.Predict(0x100) != taken {
+					miss++
+				}
+			} else {
+				p.Predict(0x100)
+			}
+			p.Update(0x100, taken)
+		}
+	}
+	rate := float64(miss) / float64(4000)
+	if rate > 0.05 {
+		t.Fatalf("loop-exit misprediction rate %.3f too high", rate)
+	}
+}
+
+func TestPredictorRandomIsBounded(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	miss := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Intn(2) == 0
+		if p.Predict(0x200) != taken {
+			miss++
+		}
+		p.Update(0x200, taken)
+	}
+	rate := float64(miss) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random branch misprediction rate %.3f outside [0.35,0.65]", rate)
+	}
+}
+
+func TestPredictorManyBranchesNoAliasCatastrophe(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	// 512 branches, each biased taken.
+	miss := 0
+	total := 0
+	for rep := 0; rep < 50; rep++ {
+		for b := 0; b < 512; b++ {
+			pc := 0x1000 + b*4
+			if rep >= 2 {
+				total++
+				if !p.Predict(pc) {
+					miss++
+				}
+			} else {
+				p.Predict(pc)
+			}
+			p.Update(pc, true)
+		}
+	}
+	if rate := float64(miss) / float64(total); rate > 0.02 {
+		t.Fatalf("aliasing misprediction rate %.3f too high", rate)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(4)
+	if _, ok := b.Lookup(100); ok {
+		t.Fatal("empty BTB hit")
+	}
+	b.Update(100, 200)
+	if tgt, ok := b.Lookup(100); !ok || tgt != 200 {
+		t.Fatalf("BTB lookup = %d,%v", tgt, ok)
+	}
+	// Conflicting entry evicts (direct mapped, 16 entries).
+	b.Update(100+16, 300)
+	if _, ok := b.Lookup(100); ok {
+		t.Fatal("conflict did not evict")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := 3; want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("RAS not empty after pops")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Fatalf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Fatalf("pop = %d, want 2", v)
+	}
+	// Depth capped at capacity: the overwritten entry is gone, but a stale
+	// slot may remain readable; capacity-2 RAS holds at most 2 values.
+	if _, ok := r.Pop(); ok {
+		t.Fatal("RAS depth exceeded capacity")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	if p.MispredictRate() != 0 {
+		t.Fatal("empty predictor rate nonzero")
+	}
+	for i := 0; i < 100; i++ {
+		p.Predict(4)
+		p.Update(4, true)
+	}
+	if r := p.MispredictRate(); r < 0 || r > 1 {
+		t.Fatalf("rate %f out of range", r)
+	}
+}

@@ -1,0 +1,73 @@
+package branch
+
+// BTB is a direct-mapped branch target buffer mapping branch PCs to their
+// most recent targets (Table I: 4K entries).
+type BTB struct {
+	mask    int
+	tags    []int32
+	targets []int32
+	Lookups uint64
+	Misses  uint64
+}
+
+// NewBTB returns a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	n := 1 << bits
+	b := &BTB{mask: n - 1, tags: make([]int32, n), targets: make([]int32, n)}
+	for i := range b.tags {
+		b.tags[i] = -1
+	}
+	return b
+}
+
+// Lookup returns the stored target for pc, if present.
+func (b *BTB) Lookup(pc int) (target int, ok bool) {
+	b.Lookups++
+	i := pc & b.mask
+	if b.tags[i] == int32(pc) {
+		return int(b.targets[i]), true
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update installs (or refreshes) the target for pc.
+func (b *BTB) Update(pc, target int) {
+	i := pc & b.mask
+	b.tags[i] = int32(pc)
+	b.targets[i] = int32(target)
+}
+
+// RAS is a return address stack with wrap-around overflow (Table I: 32
+// entries).
+type RAS struct {
+	stack []int
+	top   int
+	depth int
+}
+
+// NewRAS returns a RAS with the given capacity.
+func NewRAS(n int) *RAS {
+	return &RAS{stack: make([]int, n)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr int) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. Popping an empty stack returns
+// (0, false).
+func (r *RAS) Pop() (addr int, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	a := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return a, true
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"r3dla/internal/isa"
+)
+
+// Failure-injection tests: the DLA machinery must degrade gracefully, not
+// deadlock or misalign, under queue pressure, pathological skeletons and
+// reboot storms.
+
+func TestTinyQueuesNoDeadlock(t *testing.T) {
+	f := getFixture()
+	r := f.run(Options{WithBOP: true, BOQSize: 4, FQSize: 4, VQSize: 2}, 20_000)
+	if r.MT.Deadlocked {
+		t.Fatal("deadlocked with tiny queues")
+	}
+	if r.MT.Committed < 20_000 {
+		t.Fatalf("committed only %d", r.MT.Committed)
+	}
+}
+
+func TestFQOverflowIsDroppedNotFatal(t *testing.T) {
+	f := getFixture()
+	r := f.run(Options{WithBOP: true, FQSize: 4}, 20_000)
+	if r.FQDrops == 0 {
+		t.Skip("no hint pressure on this workload/budget")
+	}
+	if r.MT.Deadlocked {
+		t.Fatal("hint drops broke the run")
+	}
+}
+
+func TestValueReuseSurvivesVQOverflow(t *testing.T) {
+	// A 1-entry VPT forces constant drops; epoch matching must keep the
+	// surviving predictions aligned (high accuracy).
+	f := getFixture()
+	r := f.run(Options{WithBOP: true, ValueReuse: true, VQSize: 1}, 40_000)
+	if r.MT.ValuePreds == 0 {
+		t.Skip("no predictions generated")
+	}
+	rate := float64(r.MT.ValueMispreds) / float64(r.MT.ValuePreds)
+	if rate > 0.2 {
+		t.Fatalf("VQ overflow misaligned value reuse: %.2f wrong", rate)
+	}
+}
+
+// allForcedWrong builds a skeleton whose forced branches are deliberately
+// wrong, provoking a reboot storm; the system must make forward progress
+// via reboots.
+func TestRebootStormProgress(t *testing.T) {
+	prog, setup, prof, set := mixProfile()
+	// Force every loop branch not-taken in version 0 (usually wrong).
+	bad := &Skeleton{
+		Name:    "sabotaged",
+		Include: append([]bool(nil), set.Baseline.Include...),
+		Force:   make([]int8, len(prog.Insts)),
+	}
+	for i := range bad.Force {
+		bad.Force[i] = -1
+	}
+	forced := 0
+	for pc := range prog.Insts {
+		in := &prog.Insts[pc]
+		if in.Op.IsCondBranch() && int(in.Targ) <= pc && forced < 1 {
+			bad.Force[pc] = 0 // loop branches are overwhelmingly taken
+			forced++
+		}
+	}
+	sabotaged := &Set{
+		Prog:     prog,
+		Baseline: bad,
+		Versions: []*Skeleton{bad},
+		SBits:    set.SBits,
+		SLoop:    set.SLoop,
+	}
+	sys := NewSystem(prog, setup, sabotaged, prof, Options{WithBOP: true})
+	r := sys.Run(15_000)
+	if r.MT.Deadlocked {
+		t.Fatal("reboot storm deadlocked the system")
+	}
+	if r.Reboots == 0 {
+		t.Fatal("sabotaged skeleton caused no reboots")
+	}
+	if r.MT.Committed < 15_000 {
+		t.Fatalf("no forward progress under reboot storm: %d", r.MT.Committed)
+	}
+}
+
+// TestLTHaltFallback: when the skeleton runs out (program end), the MT
+// must finish on its own predictor.
+func TestLTHaltFallback(t *testing.T) {
+	b := isa.NewBuilder("short")
+	b.Li(1, 3000)
+	b.Label("loop")
+	b.I(isa.ADDI, 2, 2, 1)
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Br(isa.BNE, 1, isa.RegZero, "loop")
+	b.Halt()
+	prog := b.Program()
+	prof := Collect(prog, nil, 10_000)
+	set := Generate(prog, prof)
+	sys := NewSystem(prog, nil, set, prof, Options{WithBOP: true})
+	r := sys.Run(0) // run to completion
+	if r.MT.Deadlocked {
+		t.Fatal("deadlocked at program end")
+	}
+	if !sys.mtMach.Halted {
+		t.Fatal("MT did not finish")
+	}
+}
+
+// TestEmptySkeletonSystem: an LT running the empty skeleton produces no
+// outcomes; the MT must fall back rather than hang (the SMT recycling
+// option that gives all resources to the main thread).
+func TestEmptySkeletonSystem(t *testing.T) {
+	prog, setup, prof, set := mixProfile()
+	empty := EmptySkeleton(prog)
+	es := &Set{Prog: prog, Baseline: empty, Versions: []*Skeleton{empty},
+		SBits: set.SBits, SLoop: set.SLoop}
+	sys := NewSystem(prog, setup, es, prof, Options{WithBOP: true})
+	r := sys.Run(10_000)
+	if r.MT.Deadlocked {
+		t.Fatal("empty skeleton deadlocked the MT")
+	}
+	if r.MT.Committed < 10_000 {
+		t.Fatalf("MT starved behind an empty skeleton: %d", r.MT.Committed)
+	}
+}
+
+// TestMaskArrivalDefault: Sec. III-A(iii): before mask bits arrive the
+// hardware defaults to all-ones (include everything). A skeleton of all
+// ones must behave like SlipStream-without-removal: correct, just slow.
+func TestMaskArrivalDefaultAllOnes(t *testing.T) {
+	prog, setup, prof, set := mixProfile()
+	all := &Skeleton{Name: "all-ones", Include: make([]bool, len(prog.Insts)),
+		Force: make([]int8, len(prog.Insts))}
+	for i := range all.Include {
+		all.Include[i] = true
+		all.Force[i] = -1
+	}
+	as := &Set{Prog: prog, Baseline: all, Versions: []*Skeleton{all},
+		SBits: set.SBits, SLoop: set.SLoop}
+	sys := NewSystem(prog, setup, as, prof, Options{WithBOP: true})
+	r := sys.Run(15_000)
+	if r.MT.Deadlocked {
+		t.Fatal("all-ones mask deadlocked")
+	}
+	// With a full copy of the program, LT diverges only through timing,
+	// so BOQ accuracy should be near-perfect.
+	if r.BOQWrong > r.MT.Committed/1000 {
+		t.Fatalf("all-ones skeleton diverged: %d wrong outcomes", r.BOQWrong)
+	}
+}

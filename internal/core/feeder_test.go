@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+func TestSkeletonFeederSkipsMasked(t *testing.T) {
+	b := isa.NewBuilder("f")
+	b.Li(1, 5)                  // 0: included (feeds branch)
+	b.Label("loop")             //
+	b.I(isa.ADDI, 2, 2, 7)      // 1: masked off
+	b.I(isa.ADDI, 3, 3, 9)      // 2: masked off
+	b.I(isa.ADDI, 1, 1, -1)     // 3: included
+	b.Br(isa.BNE, 1, 0, "loop") // 4: included (control)
+	b.Halt()                    // 5: included
+	prog := b.Program()
+
+	sk := &Skeleton{Name: "t", Include: []bool{true, false, false, true, true, true},
+		Force: []int8{-1, -1, -1, -1, -1, -1}}
+	m := emu.NewMachine(prog, emu.NewMemory())
+	f := NewSkeletonFeeder(m, sk)
+
+	var pcs []int
+	for {
+		d, ok := f.Peek()
+		if !ok {
+			break
+		}
+		pcs = append(pcs, d.PC)
+		f.Advance()
+		if d.In.Op == isa.HALT {
+			break
+		}
+	}
+	for _, pc := range pcs {
+		if !sk.Include[pc] {
+			t.Fatalf("feeder yielded masked-off pc %d", pc)
+		}
+	}
+	if f.Skipped == 0 {
+		t.Fatal("no skips recorded")
+	}
+	// Register 2 and 3 must be untouched (masked), register 1 must have
+	// been decremented to 0 (included path executed).
+	if m.Reg[2] != 0 || m.Reg[3] != 0 {
+		t.Fatal("masked instructions executed")
+	}
+	if m.Reg[1] != 0 {
+		t.Fatalf("included loop did not run: r1=%d", m.Reg[1])
+	}
+}
+
+func TestSkeletonFeederForcedBranch(t *testing.T) {
+	b := isa.NewBuilder("f2")
+	b.Li(1, 1)
+	b.Br(isa.BEQ, 1, 0, "skip") // actually NOT taken (r1=1)
+	b.I(isa.ADDI, 2, 2, 1)
+	b.Label("skip")
+	b.Halt()
+	prog := b.Program()
+	n := len(prog.Insts)
+	sk := &Skeleton{Include: make([]bool, n), Force: make([]int8, n)}
+	for i := range sk.Include {
+		sk.Include[i] = true
+		sk.Force[i] = -1
+	}
+	// Force the branch taken (wrong direction on purpose).
+	for pc := range prog.Insts {
+		if prog.Insts[pc].Op.IsCondBranch() {
+			sk.Force[pc] = 1
+		}
+	}
+	m := emu.NewMachine(prog, emu.NewMemory())
+	f := NewSkeletonFeeder(m, sk)
+	sawTaken := false
+	for {
+		d, ok := f.Peek()
+		if !ok {
+			break
+		}
+		f.Advance()
+		if d.In.Op.IsCondBranch() {
+			if !d.Taken {
+				t.Fatal("forced direction not applied")
+			}
+			sawTaken = true
+		}
+		if d.In.Op == isa.HALT {
+			break
+		}
+	}
+	if !sawTaken {
+		t.Fatal("no branch seen")
+	}
+	if m.Reg[2] != 0 {
+		t.Fatal("forced-taken branch still fell through")
+	}
+}
+
+func TestSkeletonFeederBudget(t *testing.T) {
+	prog, setup, _, set := mixProfile()
+	mem := emu.NewMemory()
+	setup(mem)
+	m := emu.NewMachine(prog, mem)
+	f := NewSkeletonFeeder(m, set.Baseline)
+	f.Budget = 100
+	n := 0
+	for {
+		_, ok := f.Peek()
+		if !ok {
+			break
+		}
+		f.Advance()
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("budget not honored: %d", n)
+	}
+}
+
+func TestSkeletonFeederSwitchKeepsControlAlignment(t *testing.T) {
+	// Switching versions mid-stream must still yield every control
+	// instruction (BOQ alignment invariant).
+	prog, setup, _, set := mixProfile()
+	mem := emu.NewMemory()
+	setup(mem)
+	m := emu.NewMachine(prog, mem)
+	f := NewSkeletonFeeder(m, set.Versions[0])
+
+	// Reference: pure functional run recording conditional branches.
+	mem2 := emu.NewMemory()
+	setup(mem2)
+	ref := emu.NewMachine(prog, mem2)
+	var refBranches []int
+	for len(refBranches) < 400 && !ref.Halted {
+		d := ref.Step()
+		if d.In.Op.IsCondBranch() {
+			refBranches = append(refBranches, d.PC)
+		}
+	}
+
+	var got []int
+	i := 0
+	for len(got) < 400 {
+		d, ok := f.Peek()
+		if !ok {
+			break
+		}
+		f.Advance()
+		if d.In.Op.IsCondBranch() {
+			got = append(got, d.PC)
+		}
+		i++
+		if i%97 == 0 { // switch versions frequently
+			f.SetSkeleton(set.Versions[(i/97)%len(set.Versions)])
+		}
+	}
+	for i := range got {
+		if got[i] != refBranches[i] {
+			t.Fatalf("branch stream diverged at %d: %d vs %d", i, got[i], refBranches[i])
+		}
+	}
+}

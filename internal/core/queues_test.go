@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBOQFIFO(t *testing.T) {
+	q := NewBOQ(4)
+	seq := []bool{true, false, true, true}
+	for _, b := range seq {
+		if !q.Push(b) {
+			t.Fatal("push failed below capacity")
+		}
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	if q.Push(true) {
+		t.Fatal("push succeeded on full queue")
+	}
+	if q.Overflows != 1 {
+		t.Fatalf("overflows = %d", q.Overflows)
+	}
+	for i, want := range seq {
+		e, ok := q.Pop()
+		if !ok || e.Taken != want {
+			t.Fatalf("pop %d = %v,%v want %v", i, e.Taken, ok, want)
+		}
+		if e.Index != uint64(i) {
+			t.Fatalf("pop %d index = %d", i, e.Index)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestBOQFlushRealigns(t *testing.T) {
+	q := NewBOQ(8)
+	q.Push(true)
+	q.Push(false)
+	q.Pop()
+	q.Flush()
+	if q.Len() != 0 {
+		t.Fatal("flush did not empty")
+	}
+	if q.PopIndex() != q.PushIndex() {
+		t.Fatalf("indices misaligned after flush: pop=%d push=%d", q.PopIndex(), q.PushIndex())
+	}
+	q.Push(true)
+	e, _ := q.Pop()
+	if e.Index != 2 {
+		t.Fatalf("post-flush index = %d, want 2", e.Index)
+	}
+}
+
+// Property: BOQ behaves as a bounded FIFO; occupancy = pushes - pops and
+// never exceeds capacity.
+func TestBOQProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewBOQ(16)
+		var model []bool
+		for _, op := range ops {
+			if op {
+				ok := q.Push(true)
+				if ok != (len(model) < 16) {
+					return false
+				}
+				if ok {
+					model = append(model, true)
+				}
+			} else {
+				e, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if e.Taken != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFQDropsWhenFull(t *testing.T) {
+	q := NewFQ(2)
+	q.Push(FQEntry{PC: 1})
+	q.Push(FQEntry{PC: 2})
+	if q.Push(FQEntry{PC: 3}) {
+		t.Fatal("push succeeded on full FQ")
+	}
+	if q.Drops != 1 {
+		t.Fatalf("drops = %d", q.Drops)
+	}
+	e, _ := q.Pop()
+	if e.PC != 1 {
+		t.Fatalf("FIFO order broken: %d", e.PC)
+	}
+}
+
+func TestFQPeekPop(t *testing.T) {
+	q := NewFQ(4)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty")
+	}
+	q.Push(FQEntry{PC: 9, Addr: 42})
+	e, ok := q.Peek()
+	if !ok || e.Addr != 42 {
+		t.Fatal("peek wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek consumed entry")
+	}
+	q.Pop()
+	if q.Len() != 0 {
+		t.Fatal("pop did not consume")
+	}
+}
+
+func TestSIFInsertDeleteContains(t *testing.T) {
+	s := NewSIF(8)
+	if s.Contains(100) {
+		t.Fatal("empty filter contains")
+	}
+	s.Insert(100)
+	if !s.Contains(100) {
+		t.Fatal("inserted PC missing")
+	}
+	s.Delete(100)
+	if s.Contains(100) {
+		t.Fatal("deleted PC still present")
+	}
+}
+
+func TestSIFClear(t *testing.T) {
+	s := NewSIF(8)
+	for pc := 0; pc < 50; pc++ {
+		s.Insert(pc * 7)
+	}
+	s.Clear()
+	for pc := 0; pc < 50; pc++ {
+		if s.Contains(pc * 7) {
+			t.Fatalf("pc %d survives clear", pc*7)
+		}
+	}
+}
+
+// Property: no false negatives — every inserted (and not deleted) PC is
+// reported present.
+func TestSIFNoFalseNegatives(t *testing.T) {
+	f := func(pcs []uint16) bool {
+		s := NewSIF(10)
+		for _, pc := range pcs {
+			s.Insert(int(pc))
+		}
+		for _, pc := range pcs {
+			if !s.Contains(int(pc)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"r3dla/internal/isa"
+)
+
+func TestSkeletonIncludesAllControl(t *testing.T) {
+	prog, _, _, set := mixProfile()
+	for _, sk := range append([]*Skeleton{set.Baseline}, set.Versions...) {
+		for pc := range prog.Insts {
+			if prog.Insts[pc].Op.IsControl() && !sk.Include[pc] {
+				t.Fatalf("%s: control inst @%d (%v) not in skeleton", sk.Name, pc, prog.Insts[pc].Op)
+			}
+		}
+	}
+}
+
+func TestSkeletonBackwardClosure(t *testing.T) {
+	// Every included, non-forced instruction must have, for each source
+	// register, at least one included producer among its backward
+	// reaching definitions (or no producer exists at all in the program).
+	prog, _, _, set := mixProfile()
+	sk := set.Baseline
+	preds := predecessors(prog)
+
+	reachingDefs := func(pc int, reg uint8) []int {
+		var defs []int
+		seen := make(map[int]bool)
+		stack := make([]int, 0, 16)
+		for _, q := range preds[pc] {
+			stack = append(stack, int(q))
+		}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			if prog.Insts[q].Dest() == reg {
+				defs = append(defs, q)
+				continue
+			}
+			for _, p := range preds[q] {
+				stack = append(stack, int(p))
+			}
+		}
+		return defs
+	}
+
+	var buf [2]uint8
+	for pc := range prog.Insts {
+		if !sk.Include[pc] {
+			continue
+		}
+		if _, forced := sk.Forced(pc); forced {
+			continue
+		}
+		for _, r := range prog.Insts[pc].Sources(buf[:0]) {
+			if r == isa.RegZero {
+				continue
+			}
+			defs := reachingDefs(pc, r)
+			if len(defs) == 0 {
+				continue // register set before entry (initial state)
+			}
+			anyIncluded := false
+			for _, d := range defs {
+				if sk.Include[d] {
+					anyIncluded = true
+					break
+				}
+			}
+			if !anyIncluded {
+				t.Fatalf("inst @%d (%v) source r%d has %d producers, none in skeleton",
+					pc, prog.Insts[pc], r, len(defs))
+			}
+		}
+	}
+}
+
+func TestSkeletonSmallerThanProgram(t *testing.T) {
+	_, _, _, set := mixProfile()
+	if f := set.Baseline.Fraction(); f >= 1.0 || f <= 0.05 {
+		t.Fatalf("baseline skeleton fraction %.2f implausible", f)
+	}
+}
+
+func TestReducedSkeletonSmallerThanBaseline(t *testing.T) {
+	_, _, _, set := mixProfile()
+	reduced := set.Versions[0]
+	if reduced.Size > set.Baseline.Size {
+		t.Fatalf("reduced skeleton (%d) larger than baseline (%d)", reduced.Size, set.Baseline.Size)
+	}
+}
+
+func TestT1MarksAreStridedLoads(t *testing.T) {
+	prog, _, prof, set := mixProfile()
+	marks := 0
+	for pc, s := range set.SBits {
+		if !s {
+			continue
+		}
+		marks++
+		if !prog.Insts[pc].Op.IsLoad() {
+			t.Fatalf("S bit on non-load @%d", pc)
+		}
+		if !prof.PCs[pc].Strided() {
+			t.Fatalf("S bit on non-strided load @%d", pc)
+		}
+		if set.SLoop[pc] < 0 {
+			t.Fatalf("S-marked load @%d has no loop", pc)
+		}
+	}
+	if marks == 0 {
+		t.Fatal("no T1 marks found; mix program has a strided loop")
+	}
+}
+
+func TestBiasedVersionForcesBranches(t *testing.T) {
+	prog, _, prof, set := mixProfile()
+	biased := set.Versions[3] // "reduced+bias"
+	forced := 0
+	for pc, f := range biased.Force {
+		if f < 0 {
+			continue
+		}
+		forced++
+		if !prog.Insts[pc].Op.IsCondBranch() {
+			t.Fatalf("forced non-branch @%d", pc)
+		}
+		_, p := prof.PCs[pc].Bias()
+		if p < biasThreshold {
+			t.Fatalf("forced branch @%d has bias %.4f < %v", pc, p, biasThreshold)
+		}
+	}
+	// The mix loop branches are heavily taken (n=512 iterations): at
+	// least one should qualify.
+	if forced == 0 {
+		t.Fatal("no branches forced in biased version")
+	}
+}
+
+func TestEmptySkeleton(t *testing.T) {
+	prog, _, _, _ := mixProfile()
+	e := EmptySkeleton(prog)
+	if e.Size != 0 {
+		t.Fatal("empty skeleton not empty")
+	}
+	for _, inc := range e.Include {
+		if inc {
+			t.Fatal("empty skeleton includes an instruction")
+		}
+	}
+}
+
+func TestSkeletonVersionsDiffer(t *testing.T) {
+	_, _, _, set := mixProfile()
+	if len(set.Versions) != 6 {
+		t.Fatalf("want 6 versions, got %d", len(set.Versions))
+	}
+	// At least some pair of versions must differ in content.
+	distinct := false
+	for i := 1; i < len(set.Versions); i++ {
+		if set.Versions[i].Size != set.Versions[0].Size {
+			distinct = true
+		}
+	}
+	forcedSomewhere := false
+	for _, v := range set.Versions {
+		for _, f := range v.Force {
+			if f >= 0 {
+				forcedSomewhere = true
+			}
+		}
+	}
+	if !distinct && !forcedSomewhere {
+		t.Fatal("all six versions identical")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, _, _, set := mixProfile()
+	if s := set.Baseline.Describe(); s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"r3dla/internal/branch"
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+	"r3dla/internal/memsys"
+	"r3dla/internal/pipeline"
+)
+
+// Options selects the DLA system configuration. The zero value is the
+// baseline DLA of Sec. III-A; enabling all four R3 flags yields R3-DLA.
+type Options struct {
+	T1          bool        // reduce: offload strided prefetch to the T1 FSM
+	ValueReuse  bool        // reuse: SIF-filtered value predictions through the VQ
+	FetchBuffer bool        // reuse: 32-entry MT fetch buffer driven by the BOQ
+	Recycle     bool        // recycle: online skeleton cycling
+	StaticLCT   map[int]int // preloaded loop->version table (offline tuning)
+
+	WithBOP    bool // BOP at L2 of both cores
+	WithStride bool // tuned stride prefetcher at MT L1 (fig12 comparator)
+
+	// FixedVersion, when >= 0 and recycling is off, runs LT on that
+	// recycle-pool version instead of the baseline skeleton.
+	FixedVersion int
+
+	BOQSize    int    // default 512
+	FQSize     int    // default 128 (prefetch + indirect hints)
+	VQSize     int    // default 32 (value payloads)
+	RebootCost uint64 // default 64 cycles
+	TrialInsts uint64 // recycle measurement window (default 4000)
+
+	CoreCfg *pipeline.Config // MT core; nil = Table I default
+	LTCfg   *pipeline.Config // LT core; nil = same as CoreCfg
+
+	// PrefetchOnly models CRE-style helpers: the leading thread's work
+	// only prefetches (into the MT's L1); the MT uses its own branch
+	// predictor, and BOQ entries serve purely as a divergence check that
+	// resynchronizes the helper.
+	PrefetchOnly bool
+
+	// Disable spawns no look-ahead thread at all; the MT runs alone on
+	// its own predictor (used by harness baselines sharing this driver).
+	Disable bool
+}
+
+func (o *Options) fill() {
+	if o.BOQSize == 0 {
+		o.BOQSize = 512
+	}
+	if o.FQSize == 0 {
+		o.FQSize = 128
+	}
+	if o.VQSize == 0 {
+		o.VQSize = 32
+	}
+	if o.RebootCost == 0 {
+		o.RebootCost = 64
+	}
+	if o.FixedVersion == 0 {
+		o.FixedVersion = -1
+	}
+}
+
+// R3Options returns the full R3-DLA configuration.
+func R3Options() Options {
+	return Options{T1: true, ValueReuse: true, FetchBuffer: true, Recycle: true, WithBOP: true}
+}
+
+// DLAOptions returns the baseline DLA configuration (with BOP, as in the
+// paper's default comparison).
+func DLAOptions() Options {
+	return Options{WithBOP: true}
+}
+
+// Results aggregates a DLA run's observables.
+type Results struct {
+	MT, LT *pipeline.Metrics
+
+	Reboots         uint64
+	WatchdogReboots uint64 // forced resyncs after MT starvation
+	BOQWrong        uint64 // BOQ-fed predictions that proved wrong
+	FQDrops         uint64
+	VQDrops         uint64
+	LTSkipped       uint64 // masked-off instructions (fetch-deleted)
+	T1Issued        uint64
+	SIFInserts      uint64
+	SIFDeletes      uint64
+	SkeletonUse     []uint64 // committed MT insts attributed per version
+
+	MTMem, LTMem *memsys.Private
+	Shared       *memsys.Shared
+}
+
+// IPC reports the MT (architectural) IPC.
+func (r *Results) IPC() float64 { return r.MT.IPC() }
+
+// System couples a look-ahead core and a main core through the BOQ/FQ.
+type System struct {
+	opt  Options
+	prog *isa.Program
+	set  *Set
+	prof *Profile
+
+	shared *memsys.Shared
+	mtMem  *memsys.Private
+	ltMem  *memsys.Private
+
+	mtMach *emu.Machine
+	ltMach *emu.Machine
+	ltOver *emu.Overlay
+
+	mtFeed *pipeline.MachineFeeder
+	ltFeed *SkeletonFeeder
+
+	mt *pipeline.Core
+	lt *pipeline.Core
+
+	boq *BOQ
+	fq  *FQ // prefetch hints (epoch-released) + shares capacity with ind
+	ind *FQ // indirect target hints
+	vq  *FQ // value payloads (the VPT)
+
+	t1  *T1
+	sif *SIF
+	rc  *Recycle
+
+	// SIF training window state.
+	sifLoop     int
+	sifIters    int
+	sifInserted map[int]bool
+
+	loopSet map[int]bool
+
+	pendingMismatch bool
+	rebootAt        uint64
+	rebootArmed     bool
+	ltStallUntil    uint64
+
+	// Watchdog: a diverged LT can wander into a loop that commits no
+	// conditional branches (e.g. chasing a garbage return address), which
+	// would starve the MT forever — the BOQ mismatch detector never fires
+	// because no outcomes arrive. The watchdog reboots the LT whenever
+	// the MT has made no progress for a long window.
+	wdLastCommitted uint64
+	wdStall         uint64
+
+	now uint64
+	res Results
+}
+
+// watchdogWindow is the no-MT-progress window (cycles) that forces an LT
+// resynchronization.
+const watchdogWindow = 15_000
+
+// NewSystem builds a DLA system for prog. setup initializes data memory;
+// set/prof come from Generate/Collect on the training input.
+func NewSystem(prog *isa.Program, setup func(*emu.Memory), set *Set, prof *Profile, opt Options) *System {
+	opt.fill()
+	cfg := pipeline.DefaultConfig()
+	if opt.CoreCfg != nil {
+		cfg = *opt.CoreCfg
+	}
+	mtCfg := cfg
+	if opt.FetchBuffer {
+		mtCfg.FetchBufSize = 32
+	}
+	if opt.ValueReuse {
+		mtCfg.SkipValidation = true
+	}
+
+	s := &System{opt: opt, prog: prog, set: set, prof: prof, sifLoop: -1}
+
+	s.shared = memsys.NewShared()
+	s.mtMem = memsys.NewPrivate(s.shared, memsys.Options{WithBOP: opt.WithBOP, WithStride: opt.WithStride})
+	s.ltMem = memsys.NewPrivate(s.shared, memsys.Options{WithBOP: opt.WithBOP, DiscardDirty: true})
+
+	base := emu.NewMemory()
+	if setup != nil {
+		setup(base)
+	}
+	s.mtMach = emu.NewMachine(prog, base)
+	s.ltOver = emu.NewOverlay(base)
+	s.ltMach = emu.NewMachine(prog, s.ltOver)
+
+	s.boq = NewBOQ(opt.BOQSize)
+	s.fq = NewFQ(opt.FQSize * 3 / 4)
+	s.ind = NewFQ(opt.FQSize / 4)
+	s.vq = NewFQ(opt.VQSize)
+	s.sif = NewSIF(8)
+	s.sifInserted = make(map[int]bool)
+	s.loopSet = LoopSet(prog, prof)
+
+	// Main thread core.
+	s.mtFeed = &pipeline.MachineFeeder{M: s.mtMach}
+	var mtDir pipeline.DirectionSource
+	if opt.Disable {
+		mtDir = &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}
+	} else {
+		mtDir = &boqSource{s: s, fallback: &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}}
+	}
+	s.mt = pipeline.New(mtCfg, s.mtFeed, mtDir, s.mtMem.L1I, s.mtMem.L1D)
+
+	mtLoad := s.mtMem.LoadHook()
+	s.mt.Hooks.OnLoadAccess = func(d *emu.DynInst, level int, done, now uint64) {
+		mtLoad(d, level, done, now)
+		if level >= 2 && s.t1 != nil {
+			s.t1.NoteMissLatency(done - now)
+		}
+	}
+	s.mt.Hooks.OnCommit = s.onMTCommit
+	s.mt.Hooks.OnBranchResolve = s.onMTResolve
+	if opt.ValueReuse {
+		s.mt.Vals = &valueSource{s: s}
+		s.mt.Hooks.OnIssue = s.onMTIssue
+	}
+	if !opt.Disable {
+		if !opt.PrefetchOnly {
+			s.mt.Hooks.TargetHint = s.targetHint // CRE supplies no targets
+		}
+		s.mt.Hooks.FetchTag = func() uint64 { return s.boq.PopIndex() }
+	}
+
+	if opt.Disable {
+		return s
+	}
+
+	// Look-ahead core.
+	skel := s.pickInitialSkeleton()
+	s.ltFeed = NewSkeletonFeeder(s.ltMach, skel)
+	ltDir := &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}
+	ltCfg := cfg
+	if opt.LTCfg != nil {
+		ltCfg = *opt.LTCfg
+	}
+	s.lt = pipeline.New(ltCfg, s.ltFeed, ltDir, s.ltMem.L1I, s.ltMem.L1D)
+	ltLoad := s.ltMem.LoadHook()
+	s.lt.Hooks.OnLoadAccess = func(d *emu.DynInst, level int, done, now uint64) {
+		ltLoad(d, level, done, now)
+		if level >= 2 {
+			s.fq.Push(FQEntry{Kind: FQL1Prefetch, PC: d.PC, Addr: d.EA, Epoch: s.boq.PushIndex()})
+		}
+	}
+	s.lt.Hooks.OnCommit = s.onLTCommit
+
+	if opt.T1 {
+		s.t1 = NewT1(16, s.mtMem.L1D)
+	}
+	if opt.Recycle || opt.StaticLCT != nil {
+		s.rc = NewRecycle(len(set.Versions), s.loopSet, s.onSkeletonSwitch, s.onNewLoop)
+		if opt.TrialInsts > 0 {
+			s.rc.TrialInsts = opt.TrialInsts
+		}
+		if opt.StaticLCT != nil {
+			s.rc.Static = true
+			for loop, v := range opt.StaticLCT {
+				s.rc.Preload(loop, v)
+			}
+		}
+	}
+	return s
+}
+
+func (s *System) pickInitialSkeleton() *Skeleton {
+	if s.opt.Recycle || s.opt.StaticLCT != nil {
+		return s.set.Versions[0]
+	}
+	if s.opt.FixedVersion >= 0 && s.opt.FixedVersion < len(s.set.Versions) {
+		return s.set.Versions[s.opt.FixedVersion]
+	}
+	if s.opt.T1 {
+		return s.set.Versions[0] // the reduced skeleton
+	}
+	return s.set.Baseline
+}
+
+// ---------------------------------------------------------------- hooks
+
+// boqSource feeds MT branch directions from the BOQ (Sec. III-A).
+type boqSource struct {
+	s        *System
+	fallback *pipeline.TageSource
+}
+
+func (b *boqSource) PredictAndTrain(pc int, actual bool, now uint64) (bool, bool) {
+	s := b.s
+	if s.opt.PrefetchOnly {
+		// CRE mode: the MT predicts for itself; a popped mismatch only
+		// resynchronizes the helper thread.
+		pred, _ := b.fallback.PredictAndTrain(pc, actual, now)
+		if e, ok := s.boq.Pop(); ok {
+			s.releaseHints(e.Index+hintLead, now)
+			if e.Taken != actual && !s.rebootArmed {
+				s.res.BOQWrong++
+				s.rebootAt = now + 1
+				s.rebootArmed = true
+			}
+		}
+		return pred, true
+	}
+	if e, ok := s.boq.Pop(); ok {
+		s.releaseHints(e.Index+hintLead, now)
+		if e.Taken != actual {
+			s.res.BOQWrong++
+			s.pendingMismatch = true
+		}
+		return e.Taken, true
+	}
+	if s.ltDead() {
+		return b.fallback.PredictAndTrain(pc, actual, now)
+	}
+	return false, false
+}
+
+// hintLead releases prefetch hints a few basic blocks before the MT
+// reaches the hint's program position, covering the L3-to-L1 pull latency
+// while still bounding how early (and thus how polluting) a prefetch can
+// be — the just-in-time release of Sec. III-A with a small lead.
+const hintLead = 4
+
+// releaseHints issues the just-in-time L1 prefetches associated with BOQ
+// entries up to (and including) epoch.
+func (s *System) releaseHints(epoch uint64, now uint64) {
+	for {
+		e, ok := s.fq.Peek()
+		if !ok || e.Epoch > epoch {
+			return
+		}
+		s.fq.Pop()
+		if e.Kind == FQL1Prefetch {
+			s.mtMem.L1D.Access(e.Addr, false, true, now)
+		}
+	}
+}
+
+// matchFQ aligns an FQ stream with a dynamic MT instance: entries whose
+// epoch predates the instance's fetch epoch (d.Tag) are stale (their MT
+// instance passed without consuming them, e.g. after drops) and are
+// discarded; a head with the same epoch and PC is the matching payload.
+func matchFQ(q *FQ, d *emu.DynInst) (FQEntry, bool) {
+	for {
+		e, ok := q.Peek()
+		if !ok {
+			return FQEntry{}, false
+		}
+		if e.Epoch < d.Tag {
+			q.Pop() // stale
+			continue
+		}
+		if e.Epoch == d.Tag && e.PC == d.PC {
+			q.Pop()
+			return e, true
+		}
+		return FQEntry{}, false
+	}
+}
+
+// targetHint serves indirect branch targets recorded by LT.
+func (s *System) targetHint(d *emu.DynInst) (int, bool) {
+	e, ok := matchFQ(s.ind, d)
+	if !ok {
+		return 0, false
+	}
+	return int(e.Addr), true
+}
+
+// valueSource serves LT-computed values in program order (Sec. III-D1).
+type valueSource struct{ s *System }
+
+func (v *valueSource) Lookup(d *emu.DynInst) (uint64, bool) {
+	e, ok := matchFQ(v.s.vq, d)
+	if !ok {
+		return 0, false
+	}
+	return e.Addr, true
+}
+
+func (v *valueSource) OnOutcome(d *emu.DynInst, correct bool) {
+	if !correct {
+		v.s.sif.Delete(d.PC)
+	}
+}
+
+// onMTIssue trains the SIF during the first iterations of a loop.
+func (s *System) onMTIssue(d *emu.DynInst, dispatchCycle, execDone uint64) {
+	if s.sifIters <= 0 || !d.HasVal {
+		return
+	}
+	if execDone-dispatchCycle < uint64(slowLatency) {
+		return
+	}
+	if s.sifInserted[d.PC] {
+		return
+	}
+	s.sifInserted[d.PC] = true
+	s.sif.Insert(d.PC)
+}
+
+func (s *System) onMTCommit(d *emu.DynInst, now uint64) {
+	op := d.In.Op
+	pc := d.PC
+
+	if s.t1 != nil && s.set.SBits[pc] && op.IsMem() {
+		s.t1.Observe(pc, s.set.SLoop[pc], d.EA, now)
+	}
+	if op.IsCondBranch() && s.loopSet[pc] {
+		if s.t1 != nil && !d.Taken {
+			s.t1.OnLoopEnd(pc)
+		}
+		s.onLoopBranchCommit(pc)
+	} else if (op == isa.CALL || op == isa.CALR) && s.loopSet[pc] {
+		s.onLoopBranchCommit(pc)
+	}
+}
+
+// onLoopBranchCommit advances SIF training windows and the recycle
+// controller.
+func (s *System) onLoopBranchCommit(pc int) {
+	if s.opt.ValueReuse {
+		if pc != s.sifLoop {
+			s.sifLoop = pc
+			s.sif.Clear()
+			s.sifInserted = make(map[int]bool)
+			s.sifIters = 8
+		} else if s.sifIters > 0 {
+			s.sifIters--
+		}
+	}
+	if s.rc != nil {
+		s.rc.OnLoopBranch(pc, s.mt.M.Committed, s.mt.M.Cycles)
+	}
+}
+
+// onMTResolve schedules a look-ahead reboot when a BOQ-fed direction
+// proves wrong (Sec. III-A: "we will reboot LT from the current state of
+// MT").
+func (s *System) onMTResolve(d *emu.DynInst, mispredicted bool, at uint64) {
+	if !mispredicted || !d.In.Op.IsCondBranch() || !s.pendingMismatch {
+		return
+	}
+	s.pendingMismatch = false
+	if !s.rebootArmed || at < s.rebootAt {
+		s.rebootAt = at
+		s.rebootArmed = true
+	}
+}
+
+func (s *System) onLTCommit(d *emu.DynInst, now uint64) {
+	op := d.In.Op
+	switch {
+	case op.IsCondBranch():
+		s.boq.Push(d.Taken)
+	case op.IsIndirect():
+		s.ind.Push(FQEntry{Kind: FQIndirect, PC: d.PC, Addr: uint64(d.NextPC), Epoch: s.boq.PushIndex()})
+	}
+	if s.opt.ValueReuse && d.HasVal && s.sif.Contains(d.PC) {
+		s.vq.Push(FQEntry{Kind: FQValue, PC: d.PC, Addr: d.Val, Epoch: s.boq.PushIndex()})
+	}
+}
+
+func (s *System) onSkeletonSwitch(version int) {
+	s.ltFeed.SetSkeleton(s.set.Versions[version])
+	// A version switch changes which dataflow the LT maintains; registers
+	// produced by newly-included chains would be stale until the next
+	// natural reinitialization. Resynchronize the LT from the MT (a
+	// reboot), exactly as the divergence path does.
+	if !s.rebootArmed {
+		s.rebootArmed = true
+		s.rebootAt = s.now + 1
+	}
+}
+
+func (s *System) onNewLoop(loopPC int) {
+	// SIF handling is driven from onLoopBranchCommit; nothing extra here.
+}
+
+// ltDead reports whether the look-ahead thread can produce no more
+// outcomes (its feeder is drained — program halted, walked off the
+// skeleton, or the skeleton is empty — and the BOQ is dry): the MT falls
+// back to its own predictor. A reboot revives the feeder, so this is
+// re-evaluated every fetch.
+func (s *System) ltDead() bool {
+	return s.lt == nil || (s.lt.Done() && s.boq.Len() == 0)
+}
+
+// --------------------------------------------------------------- reboot
+
+func (s *System) doReboot() {
+	s.rebootArmed = false
+	s.res.Reboots++
+
+	s.ltMach.CopyArchState(s.mtMach)
+	s.ltOver.Reset()
+	s.ltFeed.Reset()
+	s.lt.Flush()
+	s.ltMem.L1D.DropDirty()
+	s.ltMem.L2.DropDirty()
+
+	s.boq.Flush()
+	s.fq.Flush()
+	s.ind.Flush()
+	s.vq.Flush()
+
+	s.ltStallUntil = s.now + s.opt.RebootCost
+}
+
+// ------------------------------------------------------------------ run
+
+// Run executes until the MT commits budget instructions (or the program
+// ends) and returns the results.
+func (s *System) Run(budget uint64) *Results {
+	guard := budget*3000 + 3_000_000
+	ltGate := 0
+	if s.lt != nil {
+		ltGate = s.lt.Cfg.CommitWidth
+	}
+	for !s.mt.Done() && (budget == 0 || s.mt.M.Committed < budget) {
+		if s.lt != nil {
+			switch {
+			case s.rebootArmed && s.now >= s.rebootAt:
+				s.doReboot()
+				s.lt.StallTick()
+			case s.now < s.ltStallUntil,
+				s.boq.Len() > s.opt.BOQSize-ltGate,
+				s.lt.Done():
+				s.lt.StallTick()
+			default:
+				s.lt.Tick()
+			}
+			// Watchdog: force a resync if the MT has stopped advancing.
+			if s.mt.M.Committed != s.wdLastCommitted {
+				s.wdLastCommitted = s.mt.M.Committed
+				s.wdStall = 0
+			} else if s.wdStall++; s.wdStall > watchdogWindow && !s.rebootArmed {
+				s.rebootArmed = true
+				s.rebootAt = s.now
+				s.res.WatchdogReboots++
+			}
+		}
+		s.mt.Tick()
+		s.now++
+		if s.now > guard {
+			s.mt.M.Deadlocked = true
+			break
+		}
+	}
+	return s.Results()
+}
+
+// MTLoadHook returns the MT core's current load-access hook (for harness
+// instrumentation chaining).
+func (s *System) MTLoadHook() func(d *emu.DynInst, level int, done, now uint64) {
+	return s.mt.Hooks.OnLoadAccess
+}
+
+// SetMTLoadHook replaces the MT core's load-access hook.
+func (s *System) SetMTLoadHook(h func(d *emu.DynInst, level int, done, now uint64)) {
+	s.mt.Hooks.OnLoadAccess = h
+}
+
+// LCTSnapshot exports the recycle controller's learned loop->version
+// decisions (the offline/static tuning path trains on one input and
+// preloads these on another).
+func (s *System) LCTSnapshot() map[int]int {
+	out := make(map[int]int)
+	if s.rc == nil {
+		return out
+	}
+	for _, e := range s.rc.lct.entries {
+		if e.valid {
+			out[e.loopPC] = e.version
+		}
+	}
+	return out
+}
+
+// Results snapshots the run's observables.
+func (s *System) Results() *Results {
+	r := &s.res
+	r.MT = &s.mt.M
+	if s.lt != nil {
+		r.LT = &s.lt.M
+		r.LTSkipped = s.ltFeed.Skipped
+	}
+	r.FQDrops = s.fq.Drops + s.ind.Drops
+	r.VQDrops = s.vq.Drops
+	if s.t1 != nil {
+		r.T1Issued = s.t1.Issued
+	}
+	r.SIFInserts = s.sif.Inserts
+	r.SIFDeletes = s.sif.Deletes
+	if s.rc != nil {
+		s.rc.Finish(s.mt.M.Committed, s.mt.M.Cycles)
+		r.SkeletonUse = s.rc.UseInsts
+	}
+	r.MTMem, r.LTMem, r.Shared = s.mtMem, s.ltMem, s.shared
+	return r
+}

@@ -1,0 +1,181 @@
+package core
+
+import "r3dla/internal/cache"
+
+// T1 is the "dumb FSM" strided-prefetch offload engine of Sec. III-C. It
+// lives in the MT core, watches instructions marked with the S bit, and
+// carries out the mundane address-arithmetic prefetching so those loads
+// (and their backward slices) can be dropped from the skeleton.
+//
+// Per Fig. 3, each prefetch-table entry tracks {state, loop PC, inst PC,
+// eff. addr, stride, cur. time, pref. distance}. Entries move from invalid
+// through transient states (guarding against out-of-order stride noise)
+// into a steady state that issues one prefetch per iteration, after a
+// catch-up burst that establishes the prefetch distance.
+type T1 struct {
+	entries []t1Entry
+	target  *cache.Cache
+	degree  int // catch-up burst size cap
+
+	// running average of observed L1 miss latency (for distance).
+	missLatSum uint64
+	missLatN   uint64
+
+	Issued    uint64
+	CatchUps  uint64
+	LoopClear uint64
+}
+
+type t1State uint8
+
+const (
+	t1Invalid t1State = iota
+	t1Training
+	t1Transient
+	t1Steady
+)
+
+type t1Entry struct {
+	state    t1State
+	loopPC   int
+	instPC   int
+	lastAddr uint64
+	stride   int64
+	lastTime uint64
+	interval uint64 // smoothed time between instances
+	dist     int64  // prefetch distance in iterations
+	lru      uint64
+}
+
+// NewT1 returns a T1 engine with n prefetch-table entries (Table I: 16)
+// issuing into the given cache (MT's L1D).
+func NewT1(n int, target *cache.Cache) *T1 {
+	return &T1{entries: make([]t1Entry, n), target: target, degree: 8}
+}
+
+// NoteMissLatency feeds the running average used to size the prefetch
+// distance (average access latency / iteration interval, Sec. III-C1).
+func (t *T1) NoteMissLatency(lat uint64) {
+	t.missLatSum += lat
+	t.missLatN++
+}
+
+func (t *T1) avgMissLat() uint64 {
+	if t.missLatN == 0 {
+		return 60 // a reasonable prior before any miss is observed
+	}
+	return t.missLatSum / t.missLatN
+}
+
+// Observe processes one executed S-marked memory instruction on the MT.
+func (t *T1) Observe(pc int, loopPC int, addr uint64, now uint64) {
+	e := t.lookup(pc)
+	if e == nil {
+		e = t.allocate(pc, loopPC, now)
+		e.lastAddr = addr
+		e.state = t1Training
+		return
+	}
+	e.lru = now
+	stride := int64(addr) - int64(e.lastAddr)
+	iv := now - e.lastTime
+	e.lastTime = now
+	e.lastAddr = addr
+
+	switch e.state {
+	case t1Training:
+		if stride != 0 {
+			e.stride = stride
+			e.state = t1Transient
+			e.interval = iv
+		}
+	case t1Transient:
+		if stride != e.stride {
+			// Out-of-order noise or a new pattern: retrain.
+			e.stride = stride
+			return
+		}
+		e.interval = (e.interval + iv) / 2
+		// Stride confirmed: compute prefetch distance and catch up.
+		e.dist = t.distance(e)
+		e.state = t1Steady
+		t.CatchUps++
+		burst := int(e.dist)
+		if burst > t.degree {
+			burst = t.degree
+		}
+		for i := 1; i <= burst; i++ {
+			off := e.stride * (e.dist + int64(i-1))
+			t.issue(uint64(int64(addr)+off), now)
+		}
+	case t1Steady:
+		if stride != e.stride {
+			e.state = t1Transient
+			e.stride = stride
+			return
+		}
+		e.interval = (e.interval*7 + iv) / 8
+		e.dist = t.distance(e)
+		t.issue(uint64(int64(addr)+e.stride*e.dist), now)
+	}
+}
+
+// distance computes the prefetch distance: average miss latency divided by
+// the iteration interval, clamped to a sane range. Tight loops iterate in
+// one or two cycles, so covering a DRAM-class miss needs distances in the
+// low hundreds of iterations.
+func (t *T1) distance(e *t1Entry) int64 {
+	iv := e.interval
+	if iv == 0 {
+		iv = 1
+	}
+	d := int64(t.avgMissLat()/iv) + 1
+	if d < 1 {
+		d = 1
+	}
+	if d > 256 {
+		d = 256
+	}
+	return d
+}
+
+func (t *T1) issue(addr uint64, now uint64) {
+	t.target.Access(addr, false, true, now)
+	t.Issued++
+}
+
+// OnLoopEnd clears all entries belonging to a terminated loop (the loop
+// branch retired not-taken, Sec. III-C3: "all entries in the table are
+// cleared when a loop terminates").
+func (t *T1) OnLoopEnd(loopPC int) {
+	for i := range t.entries {
+		if t.entries[i].state != t1Invalid && t.entries[i].loopPC == loopPC {
+			t.entries[i] = t1Entry{}
+			t.LoopClear++
+		}
+	}
+}
+
+func (t *T1) lookup(pc int) *t1Entry {
+	for i := range t.entries {
+		if t.entries[i].state != t1Invalid && t.entries[i].instPC == pc {
+			return &t.entries[i]
+		}
+	}
+	return nil
+}
+
+func (t *T1) allocate(pc, loopPC int, now uint64) *t1Entry {
+	vi := 0
+	for i := range t.entries {
+		if t.entries[i].state == t1Invalid {
+			vi = i
+			break
+		}
+		if t.entries[i].lru < t.entries[vi].lru {
+			vi = i
+		}
+	}
+	t.entries[vi] = t1Entry{instPC: pc, loopPC: loopPC, lastTime: now, lru: now}
+	return &t.entries[vi]
+}

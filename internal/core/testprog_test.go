@@ -1,0 +1,101 @@
+package core
+
+import (
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+// mixProgram is the shared integration-test workload: a loop combining a
+// strided streaming phase, a pointer-chase phase, and data-dependent
+// branches — the three behaviour classes DLA interacts with.
+//
+// Memory layout (provided by mixSetup):
+//
+//	0x10_0000: array of n words (strided reads)
+//	0x40_0000: linked ring of n nodes, stride 8KB (pointer chase)
+func mixProgram(outer int64, n int64) *isa.Program {
+	b := isa.NewBuilder("mix")
+	const (
+		rOut   = 1
+		rI     = 2
+		rAddr  = 3
+		rAcc   = 4
+		rNode  = 5
+		rTmp   = 6
+		rN     = 7
+		rBit   = 8
+		rState = 9
+	)
+	b.Li(rOut, outer)
+	b.Li(rState, 0x7e3779b97f4a7c15)
+	b.Label("outer")
+
+	// Phase 1: strided sum over the array.
+	b.Li(rAddr, 0x100000)
+	b.Li(rI, n)
+	b.Label("stride")
+	b.Ld(rTmp, rAddr, 0)
+	b.R(isa.ADD, rAcc, rAcc, rTmp)
+	b.I(isa.ADDI, rAddr, rAddr, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "stride")
+
+	// Phase 2: pointer chase around the ring.
+	b.Li(rNode, 0x400000)
+	b.Li(rI, n/4)
+	b.Label("chase")
+	b.Ld(rNode, rNode, 0)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "chase")
+
+	// Phase 3: data-dependent branches on a PRNG.
+	b.Li(rI, n/2)
+	b.Label("branchy")
+	b.I(isa.SHLI, rTmp, rState, 13)
+	b.R(isa.XOR, rState, rState, rTmp)
+	b.I(isa.SHRI, rTmp, rState, 7)
+	b.R(isa.XOR, rState, rState, rTmp)
+	b.I(isa.ANDI, rBit, rState, 1)
+	b.Br(isa.BEQ, rBit, isa.RegZero, "notinc")
+	b.I(isa.ADDI, rAcc, rAcc, 3)
+	b.Label("notinc")
+	// A heavily biased branch (taken ~2047/2048 of the time).
+	b.I(isa.ANDI, rTmp, rState, 2047)
+	b.Br(isa.BNE, rTmp, isa.RegZero, "common")
+	b.I(isa.ADDI, rAcc, rAcc, 7)
+	b.Label("common")
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "branchy")
+
+	b.I(isa.ADDI, rOut, rOut, -1)
+	b.Br(isa.BNE, rOut, isa.RegZero, "outer")
+	b.Li(rN, 0x800000)
+	b.St(rAcc, rN, 0)
+	b.Halt()
+	return b.Program()
+}
+
+// mixSetup initializes the data structures mixProgram walks.
+func mixSetup(n int64) func(*emu.Memory) {
+	return func(m *emu.Memory) {
+		for i := int64(0); i < n; i++ {
+			m.Write(uint64(0x100000+i*8), uint64(i*3+1))
+		}
+		// Linked ring with an 8KB node stride (L1/L2-hostile).
+		base := uint64(0x400000)
+		for i := int64(0); i < n; i++ {
+			next := base + uint64((i+1)%n)*8192
+			m.Write(base+uint64(i)*8192, next)
+		}
+	}
+}
+
+const mixN = 512
+
+func mixProfile() (*isa.Program, func(*emu.Memory), *Profile, *Set) {
+	prog := mixProgram(1000, mixN)
+	setup := mixSetup(mixN)
+	prof := Collect(prog, setup, 120_000)
+	set := Generate(prog, prof)
+	return prog, setup, prof, set
+}

@@ -1,0 +1,65 @@
+package core
+
+// SIF is the Slow Instruction Filter of Sec. III-D1: a small counting
+// Bloom filter over PCs of instructions worth value-reusing (identified at
+// run time: dispatch-to-execute latency of at least 20 cycles during the
+// first iterations of a loop). Counting cells make deletion possible (the
+// confidence mechanism deletes a PC after a value misprediction).
+type SIF struct {
+	cells []uint8
+	mask  uint32
+
+	Inserts uint64
+	Deletes uint64
+}
+
+// NewSIF returns a filter with 2^bits counting cells.
+func NewSIF(bits int) *SIF {
+	n := 1 << bits
+	return &SIF{cells: make([]uint8, n), mask: uint32(n - 1)}
+}
+
+func (s *SIF) idx(pc int) (uint32, uint32) {
+	h1 := uint32(pc) * 2654435761
+	h2 := (uint32(pc) ^ 0x9e3779b9) * 40503
+	return h1 & s.mask, h2 & s.mask
+}
+
+// Insert adds pc to the filter.
+func (s *SIF) Insert(pc int) {
+	i, j := s.idx(pc)
+	if s.cells[i] < 255 {
+		s.cells[i]++
+	}
+	if j != i && s.cells[j] < 255 {
+		s.cells[j]++
+	}
+	s.Inserts++
+}
+
+// Contains reports (possibly with false positives) whether pc was
+// inserted.
+func (s *SIF) Contains(pc int) bool {
+	i, j := s.idx(pc)
+	return s.cells[i] > 0 && s.cells[j] > 0
+}
+
+// Delete removes one insertion of pc (the confidence mechanism after a
+// value misprediction).
+func (s *SIF) Delete(pc int) {
+	i, j := s.idx(pc)
+	if s.cells[i] > 0 {
+		s.cells[i]--
+	}
+	if j != i && s.cells[j] > 0 {
+		s.cells[j]--
+	}
+	s.Deletes++
+}
+
+// Clear empties the filter (on entering a new loop, Sec. III-D1).
+func (s *SIF) Clear() {
+	for i := range s.cells {
+		s.cells[i] = 0
+	}
+}

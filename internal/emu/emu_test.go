@@ -1,0 +1,270 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"r3dla/internal/isa"
+)
+
+// sumProgram computes sum of 1..n into r2 via a loop and stores it at
+// address 0x1000.
+func sumProgram(n int64) *isa.Program {
+	b := isa.NewBuilder("sum")
+	b.Li(1, n) // r1 = n
+	b.Li(2, 0) // r2 = 0
+	b.Label("loop")
+	b.R(isa.ADD, 2, 2, 1) // r2 += r1
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Br(isa.BNE, 1, isa.RegZero, "loop")
+	b.Li(3, 0x1000)
+	b.St(2, 3, 0)
+	b.Halt()
+	return b.Program()
+}
+
+func TestSumLoop(t *testing.T) {
+	mem := NewMemory()
+	m := NewMachine(sumProgram(10), mem)
+	m.Run(10000, nil)
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+	if got := mem.Read(0x1000); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := isa.NewBuilder("callret")
+	b.Li(1, 5)
+	b.Call("double")
+	b.Li(3, 0x2000)
+	b.St(2, 3, 0)
+	b.Halt()
+	b.Label("double")
+	b.R(isa.ADD, 2, 1, 1)
+	b.Ret()
+	mem := NewMemory()
+	m := NewMachine(b.Program(), mem)
+	m.Run(100, nil)
+	if got := mem.Read(0x2000); got != 10 {
+		t.Fatalf("double(5) = %d, want 10", got)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	b := isa.NewBuilder("jr")
+	b.LabelAddr(1, "dest")
+	b.Jr(1)
+	b.Li(2, 111) // skipped
+	b.Halt()
+	b.Label("dest")
+	b.Li(2, 42)
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Run(100, nil)
+	if m.Reg[2] != 42 {
+		t.Fatalf("r2 = %d, want 42", m.Reg[2])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	b := isa.NewBuilder("fp")
+	b.Li(1, 3)
+	b.R(isa.FCVT, isa.FReg(0), 1, 0) // f0 = 3.0
+	b.Li(1, 4)
+	b.R(isa.FCVT, isa.FReg(1), 1, 0)                     // f1 = 4.0
+	b.R(isa.FMUL, isa.FReg(2), isa.FReg(0), isa.FReg(1)) // f2 = 12.0
+	b.R(isa.FADD, isa.FReg(2), isa.FReg(2), isa.FReg(1)) // f2 = 16.0
+	b.R(isa.FDIV, isa.FReg(3), isa.FReg(2), isa.FReg(0)) // f3 = 16/3
+	b.R(isa.FCMP, 5, isa.FReg(0), isa.FReg(1))           // r5 = (3<4) = 1
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Run(100, nil)
+	if got := f64(m.Reg[isa.FReg(2)]); got != 16.0 {
+		t.Fatalf("f2 = %v, want 16", got)
+	}
+	if m.Reg[5] != 1 {
+		t.Fatalf("fcmp = %d, want 1", m.Reg[5])
+	}
+}
+
+func TestDivByZeroIsZero(t *testing.T) {
+	b := isa.NewBuilder("div0")
+	b.Li(1, 7)
+	b.R(isa.DIV, 2, 1, isa.RegZero)
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Run(10, nil)
+	if m.Reg[2] != 0 {
+		t.Fatalf("div by zero = %d, want 0", m.Reg[2])
+	}
+}
+
+func TestRegZeroIsHardwired(t *testing.T) {
+	b := isa.NewBuilder("r0")
+	b.I(isa.ADDI, isa.RegZero, isa.RegZero, 99)
+	b.R(isa.ADD, 1, isa.RegZero, isa.RegZero)
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Run(10, nil)
+	if m.Reg[1] != 0 {
+		t.Fatalf("r0 writable: r1 = %d", m.Reg[1])
+	}
+}
+
+func TestDynInstRecords(t *testing.T) {
+	p := sumProgram(2)
+	m := NewMachine(p, NewMemory())
+	var branches, loads, stores int
+	var lastTaken bool
+	m.Run(1000, func(d DynInst) {
+		if d.In.Op.IsCondBranch() {
+			branches++
+			lastTaken = d.Taken
+		}
+		if d.In.Op.IsLoad() {
+			loads++
+		}
+		if d.In.Op.IsStore() {
+			stores++
+		}
+	})
+	if branches != 2 {
+		t.Fatalf("branches = %d, want 2", branches)
+	}
+	if lastTaken {
+		t.Fatal("final loop branch should be not-taken")
+	}
+	if stores != 1 || loads != 0 {
+		t.Fatalf("loads/stores = %d/%d, want 0/1", loads, stores)
+	}
+}
+
+func TestStepForcedOverridesBranch(t *testing.T) {
+	b := isa.NewBuilder("forced")
+	b.Label("top")
+	b.Li(1, 1)
+	b.Br(isa.BEQ, 1, isa.RegZero, "top") // actually not taken
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Step() // li (expands to one addi)
+	d := m.StepForced(true)
+	if !d.Taken || d.NextPC != 0 {
+		t.Fatalf("forced branch not honored: %+v", d)
+	}
+	if m.PC != 0 {
+		t.Fatalf("PC = %d, want 0", m.PC)
+	}
+}
+
+func TestHaltedMachineStaysHalted(t *testing.T) {
+	b := isa.NewBuilder("h")
+	b.Halt()
+	m := NewMachine(b.Program(), NewMemory())
+	m.Step()
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+	d := m.Step()
+	if d.In.Op != isa.HALT || m.PC != 0 {
+		t.Fatalf("halted step misbehaved: %+v pc=%d", d, m.PC)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0xdeadbeef0) != 0 {
+		t.Fatal("uninitialized memory not zero")
+	}
+	m.Write(0x10, 42)
+	if m.Read(0x10) != 42 {
+		t.Fatal("write lost")
+	}
+	// Word granularity: addr 0x11 hits the same word.
+	if m.Read(0x11) != 42 {
+		t.Fatal("sub-word aliasing broken")
+	}
+}
+
+// Property: Memory behaves as a map from word addresses to last-written
+// values.
+func TestMemoryProperty(t *testing.T) {
+	f := func(addrs []uint32, vals []uint64) bool {
+		m := NewMemory()
+		ref := map[uint64]uint64{}
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			a := uint64(addrs[i]) &^ 7
+			m.Write(a, vals[i])
+			ref[a] = vals[i]
+		}
+		for a, v := range ref {
+			if m.Read(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlayContainment(t *testing.T) {
+	base := NewMemory()
+	base.Write(0x100, 7)
+	o := NewOverlay(base)
+	if o.Read(0x100) != 7 {
+		t.Fatal("overlay does not read through")
+	}
+	o.Write(0x100, 9)
+	o.Write(0x200, 5)
+	if o.Read(0x100) != 9 || o.Read(0x200) != 5 {
+		t.Fatal("overlay writes not visible locally")
+	}
+	if base.Read(0x100) != 7 || base.Read(0x200) != 0 {
+		t.Fatal("overlay leaked into base")
+	}
+	if o.DirtyWords() != 2 {
+		t.Fatalf("dirty words = %d, want 2", o.DirtyWords())
+	}
+	o.Reset()
+	if o.Read(0x100) != 7 || o.DirtyWords() != 0 {
+		t.Fatal("reset did not discard overlay")
+	}
+}
+
+// Property: two machines running the same program produce identical
+// dynamic streams (determinism — required for DLA's LT/MT agreement).
+func TestMachineDeterminism(t *testing.T) {
+	p := sumProgram(50)
+	m1 := NewMachine(p, NewMemory())
+	m2 := NewMachine(p, NewMemory())
+	for i := 0; i < 500; i++ {
+		d1, d2 := m1.Step(), m2.Step()
+		if d1.PC != d2.PC || d1.Val != d2.Val || d1.Taken != d2.Taken || d1.EA != d2.EA {
+			t.Fatalf("divergence at step %d: %+v vs %+v", i, d1, d2)
+		}
+		if m1.Halted {
+			break
+		}
+	}
+}
+
+func TestCopyArchState(t *testing.T) {
+	p := sumProgram(10)
+	mt := NewMachine(p, NewMemory())
+	lt := NewMachine(p, NewOverlay(NewMemory()))
+	for i := 0; i < 5; i++ {
+		mt.Step()
+	}
+	lt.CopyArchState(mt)
+	if lt.PC != mt.PC || lt.Reg != mt.Reg {
+		t.Fatal("arch state copy incomplete")
+	}
+}

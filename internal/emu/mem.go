@@ -1,0 +1,96 @@
+// Package emu provides the functional (architectural) emulator for the isa
+// package: a paged 64-bit word memory, an overlay memory used to contain
+// look-ahead speculation, and a Machine that executes one instruction per
+// Step, producing the dynamic record stream every timing model consumes.
+package emu
+
+const (
+	pageShift = 12 // 4096 words = 32 KiB per page
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+type page [pageWords]uint64
+
+// Mem is the minimal memory interface the Machine needs. Addresses are
+// byte addresses; accesses are 8-byte-word granular (addr>>3 selects the
+// word, low bits are ignored — the workloads keep data 8-byte aligned).
+type Mem interface {
+	Read(addr uint64) uint64
+	Write(addr uint64, v uint64)
+}
+
+// Memory is a sparse paged memory. The zero value is not usable; call
+// NewMemory.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory; all words read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Read returns the 64-bit word containing addr.
+func (m *Memory) Read(addr uint64) uint64 {
+	w := addr >> 3
+	p := m.pages[w>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[w&pageMask]
+}
+
+// Write stores v into the 64-bit word containing addr.
+func (m *Memory) Write(addr uint64, v uint64) {
+	w := addr >> 3
+	idx := w >> pageShift
+	p := m.pages[idx]
+	if p == nil {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	p[w&pageMask] = v
+}
+
+// Footprint reports the number of allocated pages (for tests/diagnostics).
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Overlay is a copy-on-write view over a base memory. Writes land in the
+// overlay and are visible to subsequent overlay reads; the base is never
+// modified. This is the containment mechanism for the look-ahead thread:
+// its dirty lines live here and are discarded (Reset) on reboot, exactly
+// like the paper's discard-on-eviction private caches, except we never
+// lose overlay data to eviction (a fidelity note recorded in DESIGN.md).
+type Overlay struct {
+	Base  Mem
+	dirty map[uint64]uint64 // word address -> value
+}
+
+// NewOverlay returns an overlay over base with no local writes.
+func NewOverlay(base Mem) *Overlay {
+	return &Overlay{Base: base, dirty: make(map[uint64]uint64)}
+}
+
+// Read returns the overlay value if written, else the base value.
+func (o *Overlay) Read(addr uint64) uint64 {
+	if v, ok := o.dirty[addr>>3]; ok {
+		return v
+	}
+	return o.Base.Read(addr)
+}
+
+// Write records v in the overlay only.
+func (o *Overlay) Write(addr uint64, v uint64) {
+	o.dirty[addr>>3] = v
+}
+
+// Reset discards all overlay writes (look-ahead reboot).
+func (o *Overlay) Reset() {
+	if len(o.dirty) > 0 {
+		o.dirty = make(map[uint64]uint64)
+	}
+}
+
+// DirtyWords reports how many distinct words the overlay holds.
+func (o *Overlay) DirtyWords() int { return len(o.dirty) }

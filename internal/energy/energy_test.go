@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"testing"
+
+	"r3dla/internal/cache"
+	"r3dla/internal/dram"
+	"r3dla/internal/pipeline"
+)
+
+func activity(dispatched, issued, committed, cycles uint64) CoreActivity {
+	return CoreActivity{
+		Metrics: &pipeline.Metrics{
+			Dispatched: dispatched, Issued: issued, Committed: committed,
+			Cycles: cycles,
+		},
+		L1I: &cache.Stats{}, L1D: &cache.Stats{}, L2: &cache.Stats{},
+		WallCycles: cycles,
+	}
+}
+
+func TestCoreEnergyScalesWithActivity(t *testing.T) {
+	p := DefaultParams()
+	small := Core(activity(1000, 1000, 1000, 10000), p)
+	big := Core(activity(2000, 2000, 2000, 10000), p)
+	if big.DynamicJ <= small.DynamicJ {
+		t.Fatal("dynamic energy does not scale with activity")
+	}
+	if big.StaticJ != small.StaticJ {
+		t.Fatal("static energy should depend on time, not activity")
+	}
+}
+
+func TestStaticEnergyScalesWithTime(t *testing.T) {
+	p := DefaultParams()
+	short := Core(activity(1000, 1000, 1000, 10_000), p)
+	long := Core(activity(1000, 1000, 1000, 40_000), p)
+	if long.StaticJ <= short.StaticJ {
+		t.Fatal("static energy does not scale with wall time")
+	}
+	if long.PowerW() >= short.PowerW() {
+		t.Fatal("average power should fall when the same work takes longer")
+	}
+}
+
+func TestDRAMEnergy(t *testing.T) {
+	p := DefaultParams()
+	s := &dram.Stats{Reads: 100, Writes: 50, Activates: 80}
+	b := DRAM(s, 100_000, p)
+	if b.DynamicJ <= 0 || b.StaticJ <= 0 {
+		t.Fatalf("degenerate DRAM energy: %+v", b)
+	}
+	// Activates dominate per-event cost.
+	s2 := &dram.Stats{Reads: 100, Writes: 50, Activates: 160}
+	if DRAM(s2, 100_000, p).DynamicJ <= b.DynamicJ {
+		t.Fatal("activates not accounted")
+	}
+}
+
+func TestActivityRatio(t *testing.T) {
+	a := Activity{D: 50, X: 40, C: 30}
+	base := Activity{D: 100, X: 80, C: 30}
+	r := a.Ratio(base)
+	if r.D != 0.5 || r.X != 0.5 || r.C != 1.0 {
+		t.Fatalf("ratio = %+v", r)
+	}
+	zero := a.Ratio(Activity{})
+	if zero.D != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestBreakdownAccessors(t *testing.T) {
+	b := Breakdown{DynamicJ: 2, StaticJ: 1, Seconds: 2}
+	if b.TotalJ() != 3 || b.DynPowerW() != 1 || b.StatPowerW() != 0.5 || b.PowerW() != 1.5 {
+		t.Fatalf("accessors wrong: %+v", b)
+	}
+	var empty Breakdown
+	if empty.DynPowerW() != 0 || empty.StatPowerW() != 0 {
+		t.Fatal("zero-duration power not guarded")
+	}
+}

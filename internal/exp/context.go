@@ -1,0 +1,141 @@
+// Package exp is the experiment harness: one driver per table and figure
+// of the paper's evaluation (see DESIGN.md §4 for the index). Every
+// driver renders its result as text mirroring the original artifact's
+// rows/series.
+package exp
+
+import (
+	"fmt"
+
+	"r3dla/internal/branch"
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+	"r3dla/internal/memsys"
+	"r3dla/internal/pipeline"
+	"r3dla/internal/workloads"
+)
+
+// Seeds for the training and evaluation inputs (the paper profiles on
+// training inputs and evaluates on reference inputs).
+const (
+	TrainSeed = 1
+	EvalSeed  = 2
+)
+
+// Context carries budgets and memoizes per-workload preparation
+// (profiling + skeleton generation) across experiments.
+type Context struct {
+	Budget      uint64 // evaluation budget (committed MT instructions)
+	TrainBudget uint64
+	Verbose     bool
+
+	prepared map[string]*Prepared
+	runs     map[string]*core.Results
+}
+
+// NewContext returns a Context with the given evaluation budget (0 means
+// the default 150k instructions).
+func NewContext(budget uint64) *Context {
+	if budget == 0 {
+		budget = 150_000
+	}
+	return &Context{
+		Budget:      budget,
+		TrainBudget: budget / 2,
+		prepared:    make(map[string]*Prepared),
+		runs:        make(map[string]*core.Results),
+	}
+}
+
+// RunCached memoizes a DLA run under an explicit configuration key, so
+// experiments sharing the standard configurations (BL/DLA/R3…) reuse each
+// other's runs.
+func (c *Context) RunCached(key string, p *Prepared, opt core.Options) *core.Results {
+	k := p.W.Name + "/" + key
+	if r, ok := c.runs[k]; ok {
+		return r
+	}
+	r := c.RunDLA(p, opt)
+	c.runs[k] = r
+	return r
+}
+
+// Prepared is a workload ready to run: evaluation program + profile and
+// skeletons from the training input.
+type Prepared struct {
+	W     *workloads.Workload
+	Prog  *isa.Program
+	Setup func(*emu.Memory)
+	Prof  *core.Profile
+	Set   *core.Set
+}
+
+// Prep profiles and generates skeletons for one workload (memoized).
+func (c *Context) Prep(name string) *Prepared {
+	if p, ok := c.prepared[name]; ok {
+		return p
+	}
+	w := workloads.ByName(name)
+	if w == nil {
+		panic(fmt.Sprintf("exp: unknown workload %q", name))
+	}
+	trainProg, trainSetup := w.Build(TrainSeed)
+	prof := core.Collect(trainProg, trainSetup, c.TrainBudget)
+	evalProg, evalSetup := w.Build(EvalSeed)
+	set := core.Generate(evalProg, prof)
+	p := &Prepared{W: w, Prog: evalProg, Setup: evalSetup, Prof: prof, Set: set}
+	c.prepared[name] = p
+	return p
+}
+
+// RunDLA runs one DLA/R3 configuration on a prepared workload. The
+// recycle trial window scales with the budget (each version needs to run
+// well past the BOQ depth, but six trials must not eat a short run).
+func (c *Context) RunDLA(p *Prepared, opt core.Options) *core.Results {
+	if opt.TrialInsts == 0 {
+		t := c.Budget / 20
+		if t < 1500 {
+			t = 1500
+		}
+		if t > 12000 {
+			t = 12000
+		}
+		opt.TrialInsts = t
+	}
+	sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, opt)
+	return sys.Run(c.Budget)
+}
+
+// RunBaseline runs the plain single-core baseline (optionally with BOP).
+func (c *Context) RunBaseline(p *Prepared, bop bool) *core.Results {
+	return c.RunDLA(p, core.Options{Disable: true, WithBOP: bop})
+}
+
+// BaselineMetricsOn runs a standalone baseline core with an arbitrary
+// pipeline config (used by the fetch-buffer and SMT studies).
+func BaselineMetricsOn(p *Prepared, cfg pipeline.Config, budget uint64, bop bool) (*pipeline.Metrics, *memsys.Private) {
+	mem := emu.NewMemory()
+	p.Setup(mem)
+	mach := emu.NewMachine(p.Prog, mem)
+	feed := &pipeline.MachineFeeder{M: mach}
+	dir := &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}
+	coreC, priv, _ := memsys.NewBaselineCore(cfg, feed, dir, memsys.Options{WithBOP: bop})
+	m := coreC.Run(budget)
+	return m, priv
+}
+
+// SuiteNames lists workload names of a suite (or all for "all").
+func SuiteNames(suite string) []string {
+	var out []string
+	if suite == "all" {
+		for _, w := range workloads.All() {
+			out = append(out, w.Name)
+		}
+		return out
+	}
+	for _, w := range workloads.BySuite(suite) {
+		out = append(out, w.Name)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/pipeline"
+	"r3dla/internal/stats"
+)
+
+// Table3 regenerates Table III: L1 MPKI split between strided and
+// non-strided accesses under BL, BL+stride, DLA, and DLA+T1.
+func Table3(c *Context) string {
+	type split struct{ strided, others []float64 }
+	cfgs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"BL", core.Options{Disable: true, WithBOP: true}},
+		{"BL+stride", core.Options{Disable: true, WithBOP: true, WithStride: true}},
+		{"DLA", core.DLAOptions()},
+		{"DLA+T1", core.Options{WithBOP: true, T1: true}},
+	}
+	results := make(map[string]*split)
+	for _, cf := range cfgs {
+		results[cf.name] = &split{}
+	}
+
+	for _, name := range SuiteNames("all") {
+		p := c.Prep(name)
+		// Strided classification from the training profile.
+		stridedPC := make(map[int]bool)
+		for pc := range p.Prog.Insts {
+			if p.Prog.Insts[pc].Op.IsLoad() && p.Prof.PCs[pc].Strided() {
+				stridedPC[pc] = true
+			}
+		}
+		for _, cf := range cfgs {
+			var sMiss, oMiss uint64
+			sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, cf.opt)
+			prev := sys.MTLoadHook()
+			sys.SetMTLoadHook(func(d *emu.DynInst, level int, done, now uint64) {
+				prev(d, level, done, now)
+				if level >= 2 {
+					if stridedPC[d.PC] {
+						sMiss++
+					} else {
+						oMiss++
+					}
+				}
+			})
+			r := sys.Run(c.Budget)
+			k := float64(r.MT.Committed) / 1000
+			results[cf.name].strided = append(results[cf.name].strided, float64(sMiss)/k)
+			results[cf.name].others = append(results[cf.name].others, float64(oMiss)/k)
+		}
+	}
+
+	t := &stats.Table{
+		Title:  "Table III: L1 MPKI, strided vs non-strided accesses",
+		Header: []string{"config", "strided mean", "strided median", "others mean", "others median"},
+	}
+	for _, cf := range cfgs {
+		r := results[cf.name]
+		t.AddRow(cf.name,
+			fmt.Sprintf("%.1f", stats.Mean(r.strided)),
+			fmt.Sprintf("%.1f", stats.Median(r.strided)),
+			fmt.Sprintf("%.1f", stats.Mean(r.others)),
+			fmt.Sprintf("%.1f", stats.Median(r.others)))
+	}
+	return t.String()
+}
+
+// Fig12 regenerates Fig. 12: speedup and memory traffic of DLA+Stride vs
+// DLA+T1, normalized to plain DLA.
+func Fig12(c *Context) string {
+	var b strings.Builder
+	for _, metric := range []string{"speedup", "traffic"} {
+		t := &stats.Table{
+			Title:  fmt.Sprintf("Fig. 12 (%s normalized to DLA)", metric),
+			Header: append([]string{"config"}, suiteOrder...),
+		}
+		for _, cf := range []struct {
+			name string
+			opt  core.Options
+		}{
+			{"DLA+Stride", core.Options{WithBOP: true, WithStride: true}},
+			{"DLA+T1", core.Options{WithBOP: true, T1: true}},
+		} {
+			vals := perSuite(c, func(p *Prepared) float64 {
+				dla := c.RunCached("DLA", p, core.DLAOptions())
+				r := c.RunCached("f12"+cf.name, p, cf.opt)
+				if metric == "speedup" {
+					return r.IPC() / dla.IPC()
+				}
+				return float64(r.Shared.DRAM.Traffic()) / float64(dla.Shared.DRAM.Traffic())
+			})
+			summarizeSuites(t, cf.name, vals)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig13a regenerates Fig. 13-a: the fetch buffer's gain over the baseline
+// vs over DLA.
+func Fig13a(c *Context) string {
+	t := &stats.Table{
+		Title:  "Fig. 13-a: 32-entry fetch buffer speedup",
+		Header: append([]string{"config"}, suiteOrder...),
+	}
+	// Over baseline: plain core, fetch buffer 8 vs 32 (own predictor).
+	vals := perSuite(c, func(p *Prepared) float64 {
+		cfg := pipeline.DefaultConfig()
+		base, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
+		cfg.FetchBufSize = 32
+		fb, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
+		return fb.IPC() / base.IPC()
+	})
+	summarizeSuites(t, "FB over BL", vals)
+	// Over DLA: BOQ-driven.
+	vals = perSuite(c, func(p *Prepared) float64 {
+		dla := c.RunCached("DLA", p, core.DLAOptions())
+		fb := c.RunCached("DLA+FB", p, core.Options{WithBOP: true, FetchBuffer: true})
+		return fb.IPC() / dla.IPC()
+	})
+	summarizeSuites(t, "FB over DLA", vals)
+	return t.String()
+}
+
+// Fig13b regenerates Fig. 13-b: dynamic (online) vs static (training-
+// input) recycle tuning, normalized to plain DLA.
+func Fig13b(c *Context) string {
+	t := &stats.Table{
+		Title:  "Fig. 13-b: skeleton recycling, dynamic vs static tuning (speedup over DLA)",
+		Header: append([]string{"mode"}, suiteOrder...),
+	}
+	vals := perSuite(c, func(p *Prepared) float64 {
+		dla := c.RunCached("DLA", p, core.DLAOptions())
+		dyn := c.RunCached("DLA+RC", p, core.Options{WithBOP: true, Recycle: true})
+		return dyn.IPC() / dla.IPC()
+	})
+	summarizeSuites(t, "Dynamic", vals)
+	vals = perSuite(c, func(p *Prepared) float64 {
+		dla := c.RunCached("DLA", p, core.DLAOptions())
+		// Train the LCT on the training input, then run statically.
+		trainProg, trainSetup := p.W.Build(TrainSeed)
+		trainSet := core.Generate(trainProg, p.Prof)
+		trainSys := core.NewSystem(trainProg, trainSetup, trainSet, p.Prof,
+			core.Options{WithBOP: true, Recycle: true})
+		trainSys.Run(c.Budget / 2)
+		lct := trainSys.LCTSnapshot()
+		st := c.RunDLA(p, core.Options{WithBOP: true, StaticLCT: lct})
+		return st.IPC() / dla.IPC()
+	})
+	summarizeSuites(t, "Static", vals)
+	return t.String()
+}
+
+// Fig13c regenerates Fig. 13-c: each optimization applied first (over
+// baseline DLA) vs last (completing R3-DLA) — the synergy result.
+func Fig13c(c *Context) string {
+	techs := []struct {
+		key      string
+		alone    core.Options // DLA + only this technique
+		disabled core.Options // R3-DLA minus this technique
+	}{
+		{"AS (T1 offload)",
+			core.Options{WithBOP: true, T1: true},
+			func() core.Options { o := core.R3Options(); o.T1 = false; return o }()},
+		{"VR (value reuse)",
+			core.Options{WithBOP: true, ValueReuse: true},
+			func() core.Options { o := core.R3Options(); o.ValueReuse = false; return o }()},
+		{"FB (fetch buffer)",
+			core.Options{WithBOP: true, FetchBuffer: true},
+			func() core.Options { o := core.R3Options(); o.FetchBuffer = false; return o }()},
+	}
+	t := &stats.Table{
+		Title:  "Fig. 13-c: technique applied first vs last (all-suite geomean)",
+		Header: []string{"technique", "first (DLA+X / DLA)", "last (R3 / R3-X)"},
+	}
+	for _, tech := range techs {
+		var first, last []float64
+		for _, name := range SuiteNames("all") {
+			p := c.Prep(name)
+			dla := c.RunCached("DLA", p, core.DLAOptions())
+			r3 := c.RunCached("R3-DLA", p, core.R3Options())
+			alone := c.RunCached("alone-"+tech.key, p, tech.alone)
+			minus := c.RunCached("minus-"+tech.key, p, tech.disabled)
+			first = append(first, alone.IPC()/dla.IPC())
+			last = append(last, r3.IPC()/minus.IPC())
+		}
+		t.AddRow(tech.key,
+			fmt.Sprintf("%.3f", stats.Geomean(first)),
+			fmt.Sprintf("%.3f", stats.Geomean(last)))
+	}
+	return t.String()
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"r3dla/internal/branch"
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/memsys"
+	"r3dla/internal/pipeline"
+	"r3dla/internal/stats"
+	"r3dla/internal/workloads"
+)
+
+// runSMTPair runs two copies of the workload on two half-cores sharing
+// one private cache stack (the SMT usage point of Fig. 11) and returns
+// the combined throughput in instructions per cycle.
+func runSMTPair(p *Prepared, budget uint64) float64 {
+	shared := memsys.NewShared()
+	priv := memsys.NewPrivate(shared, memsys.Options{WithBOP: true})
+	half := pipeline.HalfConfig()
+
+	mk := func() *pipeline.Core {
+		mem := emu.NewMemory()
+		p.Setup(mem)
+		mach := emu.NewMachine(p.Prog, mem)
+		feed := &pipeline.MachineFeeder{M: mach}
+		dir := &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}
+		c := pipeline.New(half, feed, dir, priv.L1I, priv.L1D)
+		c.Hooks.OnLoadAccess = priv.LoadHook()
+		return c
+	}
+	c1, c2 := mk(), mk()
+	guard := budget*2000 + 1_000_000
+	for c1.M.Committed+c2.M.Committed < budget {
+		c1.Tick()
+		c2.Tick()
+		if c1.M.Cycles > guard {
+			break
+		}
+	}
+	return float64(c1.M.Committed+c2.M.Committed) / float64(c1.M.Cycles)
+}
+
+// Fig11 regenerates Fig. 11: throughput of the wide core (FC), DLA and
+// R3-DLA on two half-cores, and two-copy SMT, all normalized to a single
+// half-core (HC).
+func Fig11(c *Context) string {
+	half := pipeline.HalfConfig()
+	wide := pipeline.WideConfig()
+
+	t := &stats.Table{
+		Title:  "Fig. 11: SMT-core throughput normalized to a half-core",
+		Header: []string{"bench", "FC", "DLA", "R3-DLA", "SMT"},
+	}
+	var fcs, dlas, r3s, smts []float64
+	for _, w := range workloads.All() {
+		p := c.Prep(w.Name)
+		budget := c.Budget / 2
+
+		hc, _ := BaselineMetricsOn(p, half, budget, true)
+		fc, _ := BaselineMetricsOn(p, wide, budget, true)
+
+		dlaOpt := core.DLAOptions()
+		dlaOpt.CoreCfg = &half
+		dla := c.RunDLA(p, dlaOpt)
+
+		r3Opt := core.R3Options()
+		r3Opt.CoreCfg = &half
+		r3 := c.RunDLA(p, r3Opt)
+
+		smt := runSMTPair(p, budget)
+
+		base := hc.IPC()
+		fcN, dlaN, r3N, smtN := fc.IPC()/base, dla.IPC()/base, r3.IPC()/base, smt/base
+		fcs = append(fcs, fcN)
+		dlas = append(dlas, dlaN)
+		r3s = append(r3s, r3N)
+		smts = append(smts, smtN)
+		t.AddRow(w.Name, f2(fcN), f2(dlaN), f2(r3N), f2(smtN))
+	}
+	t.AddRow("gmean", f2(stats.Geomean(fcs)), f2(stats.Geomean(dlas)),
+		f2(stats.Geomean(r3s)), f2(stats.Geomean(smts)))
+	return t.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"r3dla/internal/core"
+	"r3dla/internal/energy"
+	"r3dla/internal/rival"
+	"r3dla/internal/stats"
+)
+
+// suiteOrder is the presentation order of Fig. 9/10/12/13.
+var suiteOrder = []string{"spec", "crono", "star", "npb", "all"}
+
+// perSuite runs f over every workload and aggregates per suite (geomean +
+// range), returning rows keyed by suiteOrder.
+func perSuite(c *Context, f func(p *Prepared) float64) map[string][]float64 {
+	vals := make(map[string][]float64)
+	for _, name := range SuiteNames("all") {
+		p := c.Prep(name)
+		v := f(p)
+		vals[p.W.Suite] = append(vals[p.W.Suite], v)
+		vals["all"] = append(vals["all"], v)
+		if c.Verbose {
+			fmt.Printf("  %-9s %-6s %.3f\n", name, p.W.Suite, v)
+		}
+	}
+	return vals
+}
+
+func summarizeSuites(t *stats.Table, label string, vals map[string][]float64) {
+	cells := []string{label}
+	for _, s := range suiteOrder {
+		lo, hi := stats.MinMax(vals[s])
+		cells = append(cells, fmt.Sprintf("%.2f [%.2f-%.2f]", stats.Geomean(vals[s]), lo, hi))
+	}
+	t.AddRow(cells...)
+}
+
+// Fig9a regenerates Fig. 9-a: speedups of BL / DLA / R3-DLA with and
+// without the BOP prefetcher, normalized to BL+BOP, per suite.
+func Fig9a(c *Context) string {
+	type cfg struct {
+		name string
+		opt  core.Options
+	}
+	cfgs := []cfg{
+		{"BL (noPF)", core.Options{Disable: true}},
+		{"BL", core.Options{Disable: true, WithBOP: true}},
+		{"DLA (noPF)", core.Options{}},
+		{"DLA", core.DLAOptions()},
+		{"R3-DLA (noPF)", func() core.Options { o := core.R3Options(); o.WithBOP = false; return o }()},
+		{"R3-DLA", core.R3Options()},
+	}
+
+	// Normalization baseline: BL+BOP IPC per workload.
+	base := make(map[string]float64)
+	for _, name := range SuiteNames("all") {
+		p := c.Prep(name)
+		base[name] = c.RunCached("BL", p, core.Options{Disable: true, WithBOP: true}).IPC()
+	}
+
+	t := &stats.Table{
+		Title:  "Fig. 9-a: speedup over BL+BOP (geomean [min-max])",
+		Header: append([]string{"config"}, suiteOrder...),
+	}
+	for _, cf := range cfgs {
+		vals := perSuite(c, func(p *Prepared) float64 {
+			return c.RunCached(cf.name, p, cf.opt).IPC() / base[p.W.Name]
+		})
+		summarizeSuites(t, cf.name, vals)
+	}
+	return t.String()
+}
+
+// Fig9b regenerates Fig. 9-b: the all-suite comparison against B-Fetch,
+// SlipStream, CRE, DLA and R3-DLA.
+func Fig9b(c *Context) string {
+	base := make(map[string]float64)
+	for _, name := range SuiteNames("all") {
+		p := c.Prep(name)
+		base[name] = c.RunCached("BL", p, core.Options{Disable: true, WithBOP: true}).IPC()
+	}
+	runners := []struct {
+		name string
+		f    func(p *Prepared) float64
+	}{
+		{"B-Fetch", func(p *Prepared) float64 {
+			return rival.RunBFetch(p.Prog, p.Setup, c.Budget).IPC()
+		}},
+		{"S-Stream", func(p *Prepared) float64 {
+			return rival.RunSlipStream(p.Prog, p.Setup, p.Prof, c.Budget).IPC()
+		}},
+		{"CRE", func(p *Prepared) float64 {
+			return rival.RunCRE(p.Prog, p.Setup, p.Prof, c.Budget).IPC()
+		}},
+		{"DLA", func(p *Prepared) float64 { return c.RunCached("DLA", p, core.DLAOptions()).IPC() }},
+		{"R3-DLA", func(p *Prepared) float64 { return c.RunCached("R3-DLA", p, core.R3Options()).IPC() }},
+	}
+	t := &stats.Table{
+		Title:  "Fig. 9-b: all-suite speedup over BL+BOP",
+		Header: []string{"design", "speedup (geomean)", "range"},
+	}
+	for _, r := range runners {
+		var vals []float64
+		for _, name := range SuiteNames("all") {
+			p := c.Prep(name)
+			vals = append(vals, r.f(p)/base[name])
+		}
+		lo, hi := stats.MinMax(vals)
+		t.AddRow(r.name, fmt.Sprintf("%.2f", stats.Geomean(vals)), fmt.Sprintf("[%.2f-%.2f]", lo, hi))
+	}
+	return t.String()
+}
+
+// Table2 regenerates Table II: D/X/C activity, dynamic energy/power and
+// static power of LT and MT under DLA and R3-DLA, normalized to baseline.
+func Table2(c *Context) string {
+	p := energy.DefaultParams()
+	type row struct {
+		d, x, cc, de, dp, sp, pw []float64
+	}
+	agg := map[string]*row{"DLA LT": {}, "DLA MT": {}, "R3 LT": {}, "R3 MT": {}}
+
+	push := func(key string, act, bact energy.Activity, e, be energy.Breakdown) {
+		r := agg[key]
+		ar := act.Ratio(bact)
+		r.d = append(r.d, ar.D)
+		r.x = append(r.x, ar.X)
+		r.cc = append(r.cc, ar.C)
+		r.de = append(r.de, e.DynamicJ/be.DynamicJ)
+		r.dp = append(r.dp, e.DynPowerW()/be.DynPowerW())
+		r.sp = append(r.sp, e.StatPowerW()/be.StatPowerW())
+		r.pw = append(r.pw, e.PowerW()/be.PowerW())
+	}
+
+	for _, name := range SuiteNames("all") {
+		pr := c.Prep(name)
+		bl := c.RunCached("BL", pr, core.Options{Disable: true, WithBOP: true})
+		bAct := energy.ActivityOf(bl.MT)
+		bEn := energy.Core(energy.CoreActivity{
+			Metrics: bl.MT, L1I: &bl.MTMem.L1I.Stats, L1D: &bl.MTMem.L1D.Stats,
+			L2: &bl.MTMem.L2.Stats, WallCycles: bl.MT.Cycles,
+		}, p)
+		for _, cfgName := range []string{"DLA", "R3"} {
+			opt := core.DLAOptions()
+			if cfgName == "R3" {
+				opt = core.R3Options()
+			}
+			r := c.RunCached(cfgName+"dla-r3", pr, opt)
+			wall := r.MT.Cycles
+			mtEn := energy.Core(energy.CoreActivity{
+				Metrics: r.MT, L1I: &r.MTMem.L1I.Stats, L1D: &r.MTMem.L1D.Stats,
+				L2: &r.MTMem.L2.Stats, WallCycles: wall,
+			}, p)
+			ltEn := energy.Core(energy.CoreActivity{
+				Metrics: r.LT, L1I: &r.LTMem.L1I.Stats, L1D: &r.LTMem.L1D.Stats,
+				L2: &r.LTMem.L2.Stats, WallCycles: wall,
+			}, p)
+			push(cfgName+" MT", energy.ActivityOf(r.MT), bAct, mtEn, bEn)
+			push(cfgName+" LT", energy.ActivityOf(r.LT), bAct, ltEn, bEn)
+		}
+	}
+
+	t := &stats.Table{
+		Title:  "Table II: activities, energy and power normalized to baseline (means)",
+		Header: []string{"", "D", "X", "C", "Dyn.Energy", "Dyn.Power", "Static Power", "Power"},
+	}
+	for _, key := range []string{"DLA LT", "DLA MT", "R3 LT", "R3 MT"} {
+		r := agg[key]
+		t.AddRow(key,
+			pct(stats.Mean(r.d)), pct(stats.Mean(r.x)), pct(stats.Mean(r.cc)),
+			pct(stats.Mean(r.de)), pct(stats.Mean(r.dp)), pct(stats.Mean(r.sp)), pct(stats.Mean(r.pw)))
+	}
+	return t.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// Fig10 regenerates Fig. 10: CPU and DRAM energy of DLA and R3-DLA
+// normalized to baseline, per suite.
+func Fig10(c *Context) string {
+	p := energy.DefaultParams()
+	var b strings.Builder
+	for _, part := range []string{"cpu", "dram"} {
+		t := &stats.Table{
+			Title:  fmt.Sprintf("Fig. 10 (%s energy normalized to baseline)", part),
+			Header: append([]string{"config"}, suiteOrder...),
+		}
+		for _, cfgName := range []string{"DLA", "R3-DLA"} {
+			vals := perSuite(c, func(pr *Prepared) float64 {
+				bl := c.RunCached("BL", pr, core.Options{Disable: true, WithBOP: true})
+				opt := core.DLAOptions()
+				if cfgName == "R3-DLA" {
+					opt = core.R3Options()
+				}
+				r := c.RunCached(cfgName+"dla-r3fig10", pr, opt)
+				if part == "cpu" {
+					return cpuEnergy(r, p) / cpuEnergy(bl, p)
+				}
+				return dramEnergy(r, p) / dramEnergy(bl, p)
+			})
+			summarizeSuites(t, cfgName, vals)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cpuEnergy totals core + shared-cache energy of a run.
+func cpuEnergy(r *core.Results, p energy.Params) float64 {
+	wall := r.MT.Cycles
+	e := energy.Core(energy.CoreActivity{
+		Metrics: r.MT, L1I: &r.MTMem.L1I.Stats, L1D: &r.MTMem.L1D.Stats,
+		L2: &r.MTMem.L2.Stats, WallCycles: wall,
+	}, p).TotalJ()
+	if r.LT != nil {
+		e += energy.Core(energy.CoreActivity{
+			Metrics: r.LT, L1I: &r.LTMem.L1I.Stats, L1D: &r.LTMem.L1D.Stats,
+			L2: &r.LTMem.L2.Stats, WallCycles: wall,
+		}, p).TotalJ()
+	}
+	e += energy.Shared(&r.Shared.L3.Stats, wall, p).TotalJ()
+	return e
+}
+
+// dramEnergy totals memory energy of a run.
+func dramEnergy(r *core.Results, p energy.Params) float64 {
+	return energy.DRAM(&r.Shared.DRAM.Stats, r.MT.Cycles, p).TotalJ()
+}

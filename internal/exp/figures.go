@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"r3dla/internal/analytic"
+	"r3dla/internal/core"
+	"r3dla/internal/limit"
+	"r3dla/internal/pipeline"
+	"r3dla/internal/stats"
+	"r3dla/internal/workloads"
+)
+
+// Fig1 regenerates Fig. 1: implicit parallelism of the spec-like
+// workloads with moving windows of 128/512/2048, ideal vs real supply.
+func Fig1(c *Context) string {
+	windows := []int{128, 512, 2048}
+	t := &stats.Table{
+		Title: "Fig. 1: implicit parallelism (IPC), ideal vs real supply",
+		Header: []string{"bench",
+			"ideal:128", "ideal:512", "ideal:2048",
+			"real:128", "real:512", "real:2048"},
+	}
+	geo := make([][]float64, 6)
+	for _, w := range workloads.BySuite("spec") {
+		prog, setup := w.Build(EvalSeed)
+		row := []string{w.Name}
+		for i, real := range []bool{false, true} {
+			for j, win := range windows {
+				ipc := limit.IPC(prog, setup, limit.Config{
+					Window: win, Real: real, Budget: c.Budget / 4,
+				})
+				row = append(row, fmt.Sprintf("%.2f", ipc))
+				geo[i*3+j] = append(geo[i*3+j], ipc)
+			}
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"gmean"}
+	for _, g := range geo {
+		grow = append(grow, fmt.Sprintf("%.2f", stats.Geomean(g)))
+	}
+	t.AddRow(grow...)
+	return t.String()
+}
+
+// fbWorkload is the Fig. 5 case-study workload (the paper uses povray,
+// the application with the most pronounced I-cache/trace-cache gap; our
+// stand-in is the branchy recursive search gobmk, whose taken-branch
+// breaks make the two supply mechanisms differ most).
+const fbWorkload = "gobmk"
+
+// measureSupplyDemand extracts the empirical supply and demand
+// distributions of Appendix B: demand under a perfect frontend, supply
+// under an infinite backend (with and without taken-branch fetch breaks
+// to model a trace cache).
+func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []float64) {
+	run := func(mut func(*pipeline.Config)) *pipeline.Metrics {
+		cfg := pipeline.DefaultConfig()
+		cfg.FetchWidth = 16   // Appendix B case study: 16-wide I-cache fetch
+		cfg.FetchBufSize = 64 // don't let the buffer cap the supply measure
+		mut(&cfg)
+		m, _ := BaselineMetricsOn(p, cfg, c.Budget/4, true)
+		return m
+	}
+	d := run(func(cfg *pipeline.Config) { cfg.PerfectFrontend = true; cfg.TrackDemand = true })
+	s1 := run(func(cfg *pipeline.Config) { cfg.InfiniteBackend = true; cfg.TrackSupply = true })
+	s2 := run(func(cfg *pipeline.Config) {
+		cfg.InfiniteBackend = true
+		cfg.TrackSupply = true
+		cfg.NoFetchBreakOnTaken = true
+	})
+	return d.Demand.Dist(), s1.Supply.Dist(), s2.Supply.Dist()
+}
+
+// Fig5 regenerates Fig. 5: the analytic queue-length distributions for
+// capacities 8 and 32 under I-cache and trace-cache supply (a), and the
+// expected fetch bubbles as capacity varies (b).
+func Fig5(c *Context) string {
+	p := c.Prep(fbWorkload)
+	demand, supplyIC, supplyTC := measureSupplyDemand(c, p)
+	mIC := analytic.NewModel(demand, supplyIC)
+	mTC := analytic.NewModel(demand, supplyTC)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 5-a: P(queue length), workload %s ==\n", fbWorkload)
+	fmt.Fprintf(&b, "%-6s %-14s %-14s %-14s %-14s\n", "len",
+		"icache cap8", "icache cap32", "trace cap8", "trace cap32")
+	q8, q32 := mIC.QueueDist(8), mIC.QueueDist(32)
+	t8, t32 := mTC.QueueDist(8), mTC.QueueDist(32)
+	for i := 0; i <= 32; i++ {
+		get := func(q []float64) string {
+			if i < len(q) {
+				return fmt.Sprintf("%.4f", q[i])
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, "%-6d %-14s %-14s %-14s %-14s\n", i, get(q8), get(q32), get(t8), get(t32))
+	}
+	b.WriteString("\n== Fig. 5-b: expected fetch bubbles vs capacity ==\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-12s\n", "capacity", "I-cache", "Trace-cache")
+	for cap := 8; cap <= 32; cap += 4 {
+		fmt.Fprintf(&b, "%-10d %-12.3f %-12.3f\n", cap, mIC.ExpectedBubbles(cap), mTC.ExpectedBubbles(cap))
+	}
+	return b.String()
+}
+
+// Fig14 regenerates Fig. 14: theoretical vs simulated fetch-buffer
+// queue-length distribution.
+func Fig14(c *Context) string {
+	p := c.Prep(fbWorkload)
+	demand, supplyIC, _ := measureSupplyDemand(c, p)
+	model := analytic.NewModel(demand, supplyIC)
+	theory := model.QueueDist(32)
+
+	cfg := pipeline.DefaultConfig()
+	cfg.FetchWidth = 16
+	cfg.FetchBufSize = 32
+	cfg.TrackFetchQOcc = true
+	m, _ := BaselineMetricsOn(p, cfg, c.Budget/4, true)
+	sim := m.FetchQOcc.Dist()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 14: fetch buffer occupancy, theory vs simulation (%s) ==\n", fbWorkload)
+	fmt.Fprintf(&b, "%-6s %-12s %-12s\n", "len", "theoretical", "simulated")
+	for i := 0; i <= 32; i++ {
+		tv, sv := 0.0, 0.0
+		if i < len(theory) {
+			tv = theory[i]
+		}
+		if i < len(sim) {
+			sv = sim[i]
+		}
+		fmt.Fprintf(&b, "%-6d %-12.4f %-12.4f\n", i, tv, sv)
+	}
+	return b.String()
+}
+
+// Fig15 regenerates Fig. 15: the distribution of skeleton versions chosen
+// by online recycling, per spec workload.
+func Fig15(c *Context) string {
+	t := &stats.Table{
+		Title:  "Fig. 15: fraction of instructions under each skeleton version (online recycle)",
+		Header: []string{"bench", "a", "b", "c", "d", "e", "f"},
+	}
+	for _, w := range workloads.BySuite("spec") {
+		p := c.Prep(w.Name)
+		r := c.RunCached("R3-DLA", p, core.R3Options())
+		var total uint64
+		for _, u := range r.SkeletonUse {
+			total += u
+		}
+		row := []string{w.Name}
+		for _, u := range r.SkeletonUse {
+			f := 0.0
+			if total > 0 {
+				f = float64(u) / float64(total)
+			}
+			row = append(row, fmt.Sprintf("%.2f", f))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Table1 prints the modeled system configuration.
+func Table1(c *Context) string {
+	cfg := pipeline.DefaultConfig()
+	var b strings.Builder
+	b.WriteString("== Table I: system configuration (as modeled) ==\n")
+	fmt.Fprintf(&b, "Core: %d-wide OoO, %d ROB, %d LSQ, %dINT/%dFP PRF, %dINT/%dMEM/%dFP FUs\n",
+		cfg.DecodeWidth, cfg.ROB, cfg.LSQ, cfg.IntPRF, cfg.FPPRF, cfg.IntFUs, cfg.MemFUs, cfg.FPFUs)
+	fmt.Fprintf(&b, "Frontend: fetch %d/cycle, fetch buffer %d, redirect penalty %d\n",
+		cfg.FetchWidth, cfg.FetchBufSize, cfg.RedirectPenalty)
+	fmt.Fprintf(&b, "Predictor: TAGE-lite + %d-entry BTB + %d-entry RAS\n", 1<<cfg.BTBBits, cfg.RASEntries)
+	b.WriteString("L1: 32KB I + 32KB D, 4-way, 64B, 3 cyc; L2: 256KB 8-way 9 cyc (+BOP); L3: 2MB 16-way 36 cyc\n")
+	b.WriteString("DRAM: DDR3-1600-like, 2 channels, 16 banks/chan, open row\n")
+	b.WriteString("DLA: BOQ 512, FQ 128, VPT 32, T1 16 entries, LCT 16 entries, reboot 64 cyc\n")
+	return b.String()
+}

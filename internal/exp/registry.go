@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) string
+}
+
+// Registry lists every experiment by id.
+var Registry = []Experiment{
+	{"tab1", "Table I: system configuration", Table1},
+	{"fig1", "Fig. 1: implicit parallelism limit study", Fig1},
+	{"fig5", "Fig. 5: analytic fetch-buffer model", Fig5},
+	{"fig9a", "Fig. 9-a: bottom-line speedups per suite", Fig9a},
+	{"fig9b", "Fig. 9-b: comparison with related designs", Fig9b},
+	{"tab2", "Table II: activity/energy/power breakdown", Table2},
+	{"fig10", "Fig. 10: CPU and DRAM energy", Fig10},
+	{"fig11", "Fig. 11: SMT usage scenario", Fig11},
+	{"tab3", "Table III: strided vs other L1 MPKI", Table3},
+	{"fig12", "Fig. 12: T1 offload vs stride prefetcher", Fig12},
+	{"fig13a", "Fig. 13-a: fetch buffer over BL vs over DLA", Fig13a},
+	{"fig13b", "Fig. 13-b: dynamic vs static recycling", Fig13b},
+	{"fig13c", "Fig. 13-c: optimization synergy", Fig13c},
+	{"fig14", "Fig. 14: fetch-buffer theory vs simulation", Fig14},
+	{"fig15", "Fig. 15: skeleton version distribution", Fig15},
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List renders the registry as help text.
+func List() string {
+	var b strings.Builder
+	for _, e := range Registry {
+		fmt.Fprintf(&b, "  %-8s %s\n", e.ID, e.Title)
+	}
+	return b.String()
+}

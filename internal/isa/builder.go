@@ -1,0 +1,159 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. It is the "assembler"
+// every workload in internal/workloads uses. Branch and jump targets may
+// reference labels that are defined later; they are resolved by Program().
+type Builder struct {
+	name   string
+	insts  []Inst
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len reports the number of instructions emitted so far (== the index the
+// next emitted instruction will receive).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("%s: duplicate label %q", b.name, name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+func (b *Builder) emit(in Inst) int {
+	b.insts = append(b.insts, in)
+	return len(b.insts) - 1
+}
+
+// R emits a three-register instruction: op rd, rs1, rs2.
+func (b *Builder) R(op Op, rd, rs1, rs2 uint8) int {
+	return b.emit(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I emits a register-immediate instruction: op rd, rs1, imm.
+func (b *Builder) I(op Op, rd, rs1 uint8, imm int64) int {
+	return b.emit(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads a 64-bit constant into rd (one or two instructions).
+func (b *Builder) Li(rd uint8, v int64) {
+	hi := v >> 32
+	lo := v & 0xFFFFFFFF
+	if hi != 0 {
+		b.I(LUI, rd, RegZero, hi)
+		b.I(ORI, rd, rd, lo)
+	} else {
+		b.I(ADDI, rd, RegZero, lo)
+	}
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs uint8) int { return b.I(ADDI, rd, rs, 0) }
+
+// Ld emits rd = mem[rs1+imm].
+func (b *Builder) Ld(rd, rs1 uint8, imm int64) int {
+	return b.emit(Inst{Op: LD, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem[rs1+imm] = rs2.
+func (b *Builder) St(rs2, rs1 uint8, imm int64) int {
+	return b.emit(Inst{Op: ST, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Fld emits fd = mem[rs1+imm] (fd is an architectural index; use FReg).
+func (b *Builder) Fld(fd, rs1 uint8, imm int64) int {
+	return b.emit(Inst{Op: FLD, Rd: fd, Rs1: rs1, Imm: imm})
+}
+
+// Fst emits mem[rs1+imm] = fs (fs is an architectural index; use FReg).
+func (b *Builder) Fst(fs, rs1 uint8, imm int64) int {
+	return b.emit(Inst{Op: FST, Rs1: rs1, Rs2: fs, Imm: imm})
+}
+
+// Br emits a conditional branch to a label.
+func (b *Builder) Br(op Op, rs1, rs2 uint8, label string) int {
+	i := b.emit(Inst{Op: op, Rs1: rs1, Rs2: rs2})
+	b.fixups = append(b.fixups, fixup{i, label})
+	return i
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) int {
+	i := b.emit(Inst{Op: JMP})
+	b.fixups = append(b.fixups, fixup{i, label})
+	return i
+}
+
+// Call emits a direct call to a label.
+func (b *Builder) Call(label string) int {
+	i := b.emit(Inst{Op: CALL})
+	b.fixups = append(b.fixups, fixup{i, label})
+	return i
+}
+
+// CallR emits an indirect call through rs1.
+func (b *Builder) CallR(rs1 uint8) int { return b.emit(Inst{Op: CALR, Rs1: rs1}) }
+
+// Jr emits an indirect jump through rs1.
+func (b *Builder) Jr(rs1 uint8) int { return b.emit(Inst{Op: JR, Rs1: rs1}) }
+
+// Ret emits a return.
+func (b *Builder) Ret() int { return b.emit(Inst{Op: RET}) }
+
+// Halt emits a HALT.
+func (b *Builder) Halt() int { return b.emit(Inst{Op: HALT}) }
+
+// Nop emits a NOP.
+func (b *Builder) Nop() int { return b.emit(Inst{Op: NOP}) }
+
+// LabelAddr emits code loading the instruction index of label into rd
+// (for indirect jumps/calls through tables built at run time the workloads
+// instead store indices into memory; this handles the direct case).
+func (b *Builder) LabelAddr(rd uint8, label string) {
+	i := b.I(ADDI, rd, RegZero, 0)
+	b.fixups = append(b.fixups, fixup{i, label})
+}
+
+// Program resolves labels and returns the assembled program. It panics on
+// assembly errors (undefined labels, duplicate labels): workloads are
+// compiled into the binary, so a failure here is a programming bug, not a
+// runtime condition.
+func (b *Builder) Program() *Program {
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("%s: undefined label %q", b.name, f.label))
+			continue
+		}
+		in := &b.insts[f.inst]
+		if in.Op == ADDI { // LabelAddr fixup
+			in.Imm = int64(idx)
+		} else {
+			in.Targ = int32(idx)
+		}
+	}
+	if len(b.errs) > 0 {
+		panic(b.errs[0])
+	}
+	p := &Program{Name: b.name, Insts: b.insts, Labels: b.labels}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

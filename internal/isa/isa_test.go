@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassCoverage(t *testing.T) {
+	for op := NOP; op < Op(NumOps); op++ {
+		// Every opcode must stringify and classify without panicking.
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		_ = op.Class()
+	}
+}
+
+func TestClassPredicatesConsistent(t *testing.T) {
+	for op := NOP; op < Op(NumOps); op++ {
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%v is both load and store", op)
+		}
+		if op.IsCondBranch() && !op.IsControl() {
+			t.Errorf("%v cond branch but not control", op)
+		}
+		if op.IsMem() && op.IsControl() {
+			t.Errorf("%v both mem and control", op)
+		}
+		if op.IsIndirect() && !op.IsControl() {
+			t.Errorf("%v indirect but not control", op)
+		}
+	}
+}
+
+func TestInstSourcesAndDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		srcs []uint8
+		dest uint8
+	}{
+		{Inst{Op: ADD, Rd: 3, Rs1: 1, Rs2: 2}, []uint8{1, 2}, 3},
+		{Inst{Op: ADDI, Rd: 3, Rs1: 1, Imm: 5}, []uint8{1}, 3},
+		{Inst{Op: LD, Rd: 4, Rs1: 2, Imm: 8}, []uint8{2}, 4},
+		{Inst{Op: ST, Rs1: 2, Rs2: 5, Imm: 8}, []uint8{2, 5}, NoReg},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Targ: 7}, []uint8{1, 2}, NoReg},
+		{Inst{Op: JMP, Targ: 7}, nil, NoReg},
+		{Inst{Op: CALL, Targ: 7}, nil, RegLink},
+		{Inst{Op: RET}, []uint8{RegLink}, NoReg},
+		{Inst{Op: JR, Rs1: 9}, []uint8{9}, NoReg},
+		{Inst{Op: LUI, Rd: 6, Imm: 1}, nil, 6},
+	}
+	for _, c := range cases {
+		got := c.in.Sources(nil)
+		if len(got) != len(c.srcs) {
+			t.Errorf("%v: sources %v, want %v", c.in.Op, got, c.srcs)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.srcs[i] {
+				t.Errorf("%v: sources %v, want %v", c.in.Op, got, c.srcs)
+			}
+		}
+		if d := c.in.Dest(); d != c.dest {
+			t.Errorf("%v: dest %d, want %d", c.in.Op, d, c.dest)
+		}
+	}
+}
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 10)
+	b.Label("loop")
+	b.I(ADDI, 1, 1, -1)
+	b.Br(BNE, 1, RegZero, "loop")
+	b.Halt()
+	p := b.Program()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Labels["loop"]
+	var br *Inst
+	for i := range p.Insts {
+		if p.Insts[i].Op == BNE {
+			br = &p.Insts[i]
+		}
+	}
+	if br == nil || int(br.Targ) != loop {
+		t.Fatalf("branch target not resolved to label: %+v (loop=%d)", br, loop)
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undefined label")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	b.Program()
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate label")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Program()
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []Inst{{Op: JMP, Targ: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected out-of-range target error")
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []Inst{{Op: ADD, Rd: 70, Rs1: 1, Rs2: 2}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected register range error")
+	}
+}
+
+// Property: for any opcode, Sources never returns more than 2 registers and
+// Dest is always a valid register or NoReg.
+func TestSourcesDestBounds(t *testing.T) {
+	f := func(op8, rd, rs1, rs2 uint8) bool {
+		in := Inst{Op: Op(int(op8) % NumOps), Rd: rd % NumRegs, Rs1: rs1 % NumRegs, Rs2: rs2 % NumRegs}
+		srcs := in.Sources(nil)
+		if len(srcs) > 2 {
+			return false
+		}
+		d := in.Dest()
+		return d == NoReg || d < NumRegs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCAddr(t *testing.T) {
+	if PCAddr(0) != 0 || PCAddr(3) != 12 {
+		t.Fatalf("PCAddr wrong: %d %d", PCAddr(0), PCAddr(3))
+	}
+}

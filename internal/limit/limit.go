@@ -1,0 +1,132 @@
+// Package limit implements the Fig. 1 limit study: the implicit
+// parallelism of a program measured with a moving instruction window,
+// under an idealized instruction/data supply ("ideal") and under
+// realistic branch misprediction and cache miss constraints ("real").
+package limit
+
+import (
+	"r3dla/internal/branch"
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+	"r3dla/internal/memsys"
+)
+
+// Config selects the study's parameters.
+type Config struct {
+	Window int    // moving window size (128 / 512 / 2048 in Fig. 1)
+	Real   bool   // apply realistic supply constraints
+	Budget uint64 // dynamic instructions to analyze
+}
+
+// IPC performs the dataflow-limit analysis: each instruction is scheduled
+// at max(operand-ready times, window constraint) + its latency; IPC is
+// instructions over the critical-path span.
+//
+// In ideal mode loads cost an L1 hit and branches are free (perfect
+// prediction). In real mode load latencies come from a cache-hierarchy
+// simulation of the same trace and every mispredicted branch (TAGE)
+// serializes younger instructions behind its resolution plus a redirect
+// penalty.
+func IPC(prog *isa.Program, setup func(*emu.Memory), cfg Config) float64 {
+	mem := emu.NewMemory()
+	if setup != nil {
+		setup(mem)
+	}
+	m := emu.NewMachine(prog, mem)
+
+	var pred *branch.Predictor
+	var hier *memsys.Private
+	if cfg.Real {
+		pred = branch.NewPredictor(branch.DefaultConfig())
+		hier = memsys.NewPrivate(memsys.NewShared(), memsys.Options{WithBOP: true})
+	}
+
+	w := cfg.Window
+	ring := make([]uint64, w) // finish times of the last w instructions
+	regReady := make([]uint64, isa.NumRegs)
+	memReady := make(map[uint64]uint64) // word -> store finish time
+
+	var maxT uint64
+	var n uint64
+	var fetchFloor uint64 // serialization point from mispredicted branches
+	var buf [2]uint8
+
+	const (
+		aluLat = 1
+		l1Lat  = 3
+		redir  = 14
+	)
+
+	for n = 0; n < cfg.Budget && !m.Halted; n++ {
+		d := m.Step()
+		op := d.In.Op
+
+		start := fetchFloor
+		if w > 0 {
+			if t := ring[n%uint64(w)]; t > start {
+				start = t // window: can't start before inst n-w finished
+			}
+		}
+		for _, r := range d.In.Sources(buf[:0]) {
+			if r == isa.RegZero {
+				continue
+			}
+			if regReady[r] > start {
+				start = regReady[r]
+			}
+		}
+
+		var lat uint64 = aluLat
+		switch {
+		case op.IsLoad():
+			lat = l1Lat
+			if cfg.Real {
+				res := hier.L1D.Access(d.EA, false, false, start)
+				lat = res.Done - start
+			}
+			if t := memReady[d.EA>>3]; t > start {
+				start = t
+			}
+		case op.IsStore():
+			lat = 1
+			if cfg.Real {
+				hier.L1D.Access(d.EA, true, false, start)
+			}
+			memReady[d.EA>>3] = start + 1
+		case op == isa.MUL:
+			lat = 3
+		case op == isa.DIV:
+			lat = 12
+		case op.Class() == isa.ClassFP:
+			lat = 4
+		case op == isa.FDIV:
+			lat = 16
+		}
+
+		finish := start + lat
+		if cfg.Real && op.IsCondBranch() {
+			p := pred.Predict(d.PC)
+			pred.Update(d.PC, d.Taken)
+			if p != d.Taken {
+				// Younger instructions wait for resolution + redirect.
+				if finish+redir > fetchFloor {
+					fetchFloor = finish + redir
+				}
+			}
+		}
+
+		if dst := d.In.Dest(); dst != isa.NoReg && dst != isa.RegZero {
+			regReady[dst] = finish
+		}
+		if w > 0 {
+			ring[n%uint64(w)] = finish
+		}
+		if finish > maxT {
+			maxT = finish
+		}
+	}
+	if maxT == 0 {
+		return 0
+	}
+	return float64(n) / float64(maxT)
+}

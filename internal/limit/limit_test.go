@@ -1,0 +1,54 @@
+package limit
+
+import (
+	"testing"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/workloads"
+)
+
+func run(name string, window int, real bool) float64 {
+	w := workloads.ByName(name)
+	prog, setup := w.Build(2)
+	return IPC(prog, func(m *emu.Memory) { setup(m) }, Config{Window: window, Real: real, Budget: 40_000})
+}
+
+func TestIdealParallelismGrowsWithWindow(t *testing.T) {
+	ipc128 := run("bzip", 128, false)
+	ipc2048 := run("bzip", 2048, false)
+	if ipc2048 < ipc128 {
+		t.Fatalf("window growth reduced IPC: %f -> %f", ipc128, ipc2048)
+	}
+	if ipc128 <= 0 {
+		t.Fatal("zero ideal IPC")
+	}
+}
+
+func TestRealConstraintsReduceIPC(t *testing.T) {
+	// Fig. 1's headline: real supply constraints cut implicit parallelism
+	// by a large factor.
+	for _, name := range []string{"mcf", "bzip", "omnet"} {
+		ideal := run(name, 512, false)
+		real := run(name, 512, true)
+		if real >= ideal {
+			t.Fatalf("%s: real (%f) >= ideal (%f)", name, real, ideal)
+		}
+	}
+}
+
+func TestIdealGapIsLargeForMemoryBound(t *testing.T) {
+	ideal := run("mcf", 2048, false)
+	real := run("mcf", 2048, true)
+	if ideal/real < 2 {
+		t.Fatalf("mcf ideal/real = %.2f, expected a large gap", ideal/real)
+	}
+}
+
+func TestSerialChainLimitsIdealIPC(t *testing.T) {
+	// A serial dependency chain caps ideal IPC near 1 regardless of
+	// window; use md5 (long mixing chains).
+	ipc := run("md5", 2048, false)
+	if ipc > 4 {
+		t.Fatalf("md5 ideal IPC %f too high for a serial-chain workload", ipc)
+	}
+}

@@ -1,0 +1,74 @@
+package memsys
+
+import (
+	"testing"
+
+	"r3dla/internal/emu"
+)
+
+func TestHierarchyWiring(t *testing.T) {
+	sh := NewShared()
+	p1 := NewPrivate(sh, Options{WithBOP: true})
+	p2 := NewPrivate(sh, Options{DiscardDirty: true})
+
+	// A miss in p1 walks L1D -> L2 -> L3 -> DRAM.
+	r := p1.L1D.Access(0x10000, false, false, 0)
+	if r.Level != 4 {
+		t.Fatalf("cold miss served by level %d, want 4", r.Level)
+	}
+	if sh.DRAM.Stats.Reads != 1 {
+		t.Fatalf("DRAM reads = %d", sh.DRAM.Stats.Reads)
+	}
+
+	// p2 misses to the now-warm L3.
+	r2 := p2.L1D.Access(0x10000, false, false, r.Done+100)
+	if r2.Level != 3 {
+		t.Fatalf("second core's miss served by level %d, want 3 (shared L3)", r2.Level)
+	}
+
+	if !p2.L1D.DiscardDirty || !p2.L2.DiscardDirty {
+		t.Fatal("containment mode not applied to private levels")
+	}
+	if p1.L1D.DiscardDirty {
+		t.Fatal("containment leaked to the other core")
+	}
+	if p1.BOP == nil || p2.BOP != nil {
+		t.Fatal("BOP wiring wrong")
+	}
+}
+
+func TestLoadHookDrivesBOP(t *testing.T) {
+	sh := NewShared()
+	p := NewPrivate(sh, Options{WithBOP: true})
+	hook := p.LoadHook()
+	// Stream of L2-level accesses with stride 1 block: BOP should learn
+	// and issue prefetches into L2.
+	d := &emu.DynInst{}
+	addr := uint64(1 << 20)
+	now := uint64(0)
+	for i := 0; i < 60000; i++ {
+		d.EA = addr
+		hook(d, 2, now+100, now)
+		addr += 64
+		now += 10
+	}
+	if p.L2.Stats.PrefIssued == 0 {
+		t.Fatal("BOP never issued through the load hook")
+	}
+}
+
+func TestStrideOptionWiring(t *testing.T) {
+	sh := NewShared()
+	p := NewPrivate(sh, Options{WithStride: true})
+	hook := p.LoadHook()
+	d := &emu.DynInst{PC: 52}
+	addr := uint64(1 << 21)
+	for i := 0; i < 32; i++ {
+		d.EA = addr
+		hook(d, 1, 10, uint64(i*10))
+		addr += 128
+	}
+	if p.L1D.Stats.PrefIssued == 0 {
+		t.Fatal("stride prefetcher never issued into L1")
+	}
+}

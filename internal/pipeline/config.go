@@ -1,0 +1,160 @@
+// Package pipeline implements the cycle-level out-of-order core timing
+// model: a decoupled fetch unit with a configurable fetch buffer, branch
+// prediction (or an external direction source such as the DLA Branch
+// Outcome Queue), ROB/LSQ/PRF-constrained dispatch, functional-unit
+// constrained out-of-order issue with load/store handling against the
+// cache hierarchy, and in-order commit.
+//
+// The model is trace-driven with execute-at-fetch functional semantics:
+// the Feeder supplies the committed-path dynamic instruction stream, and
+// wrong-path work is modeled as fetch-redirect bubbles (see DESIGN.md §6).
+package pipeline
+
+import "r3dla/internal/isa"
+
+// Config sizes one core. The default mirrors the paper's Table I
+// processing node; the SMT experiments use WideConfig and HalfConfig.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle (up to a taken branch)
+	DecodeWidth int // fetch buffer -> ROB dispatch width
+	IssueWidth  int // max instructions entering execution per cycle
+	CommitWidth int
+
+	ROB int
+	LSQ int
+
+	IntPRF int // integer physical registers
+	FPPRF  int
+
+	IntFUs int // simple-int units (ALU + branch resolution)
+	MemFUs int // load/store ports
+	FPFUs  int
+
+	FetchBufSize int // decoupling queue between fetch and decode
+
+	FrontendDepth      uint64 // frontend pipe depth (part of redirect cost)
+	RedirectPenalty    uint64 // total frontend-refill bubble after a resolved mispredict
+	ValueReplayPenalty uint64 // recovery cost of a wrong value prediction
+
+	BTBBits    int
+	RASEntries int
+
+	// Modeling switches used by analyses.
+	PerfectFrontend     bool // ideal fetch: no stalls, no mispredicts
+	InfiniteBackend     bool // ideal backend: dispatch drains instantly
+	NoFetchBreakOnTaken bool // trace-cache-like supply (no taken-branch break)
+	SkipValidation      bool // decode scoreboard skips validated ALU ops
+
+	// Measurement switches (cost memory; off by default).
+	TrackFetchQOcc bool // histogram of fetch buffer occupancy per cycle
+	TrackSupply    bool // histogram of instructions fetched per cycle
+	TrackDemand    bool // histogram of instructions dispatched per cycle
+}
+
+// DefaultConfig returns the Table I processing node: 20-stage, 4-wide
+// out-of-order, 192 ROB, 96 LSQ, 128 INT / 128 FP PRF, 4 INT / 2 MEM /
+// 4 FP functional units, 4K-entry BTB, 32-entry RAS.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:         8,
+		DecodeWidth:        4,
+		IssueWidth:         4,
+		CommitWidth:        4,
+		ROB:                192,
+		LSQ:                96,
+		IntPRF:             128,
+		FPPRF:              128,
+		IntFUs:             4,
+		MemFUs:             2,
+		FPFUs:              4,
+		FetchBufSize:       8,
+		FrontendDepth:      8,  // ~20-stage pipeline frontend
+		RedirectPenalty:    14, // frontend refill after a resolved mispredict
+		ValueReplayPenalty: 10,
+		BTBBits:            12, // 4K entries
+		RASEntries:         32,
+	}
+}
+
+// WideConfig returns the POWER9-SMT8-like wide core of Sec. IV-B3:
+// 16/12/16/16 widths with 512 ROB entries.
+func WideConfig() Config {
+	c := DefaultConfig()
+	c.FetchWidth = 16
+	c.DecodeWidth = 12
+	c.IssueWidth = 16
+	c.CommitWidth = 16
+	c.ROB = 512
+	c.LSQ = 256
+	c.IntPRF = 320
+	c.FPPRF = 320
+	c.IntFUs = 8
+	c.MemFUs = 4
+	c.FPFUs = 8
+	c.FetchBufSize = 16
+	return c
+}
+
+// HalfConfig returns one half-core of the wide SMT core (the paper's "HC"
+// normalization point): the wide core split evenly in two.
+func HalfConfig() Config {
+	c := WideConfig()
+	c.FetchWidth /= 2
+	c.DecodeWidth /= 2
+	c.IssueWidth /= 2
+	c.CommitWidth /= 2
+	c.ROB /= 2
+	c.LSQ /= 2
+	c.IntPRF /= 2
+	c.FPPRF /= 2
+	c.IntFUs /= 2
+	c.MemFUs /= 2
+	c.FPFUs /= 2
+	c.FetchBufSize /= 2
+	return c
+}
+
+// execLatency returns the execution latency of a non-memory op class.
+func execLatency(c isa.Class) uint64 {
+	switch c {
+	case isa.ClassALU:
+		return 1
+	case isa.ClassMul:
+		return 3
+	case isa.ClassDiv:
+		return 12
+	case isa.ClassFP:
+		return 4
+	case isa.ClassFDiv:
+		return 16
+	case isa.ClassBranch, isa.ClassJump:
+		return 1
+	case isa.ClassStore:
+		return 1 // address generation; data written at commit
+	default:
+		return 1
+	}
+}
+
+// fuKind maps an op class onto a functional-unit pool.
+type fuKind uint8
+
+const (
+	fuInt fuKind = iota
+	fuMem
+	fuFP
+	fuNone
+)
+
+func fuOf(c isa.Class) fuKind {
+	switch c {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassBranch, isa.ClassJump:
+		return fuInt
+	case isa.ClassLoad, isa.ClassStore:
+		return fuMem
+	case isa.ClassFP, isa.ClassFDiv:
+		return fuFP
+	default:
+		return fuNone
+	}
+}

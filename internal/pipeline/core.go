@@ -1,0 +1,632 @@
+package pipeline
+
+import (
+	"r3dla/internal/branch"
+	"r3dla/internal/cache"
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+	"r3dla/internal/stats"
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	d             emu.DynInst
+	seq           uint64 // core-local monotonically increasing id
+	live          bool
+	dispatchCycle uint64
+	issued        bool
+	execDone      uint64
+	mispred       bool // direction or target mispredicted at fetch
+
+	valPred    bool
+	valCorrect bool
+	skipVal    bool
+
+	prod    [2]int32 // ROB slots of register producers (-1 = ready)
+	prodSeq [2]uint64
+	fwd     int32 // ROB slot of forwarding store (-1 = none)
+	fwdSeq  uint64
+
+	intDest bool
+	fpDest  bool
+}
+
+type fqEntry struct {
+	d          emu.DynInst
+	fetchCycle uint64
+	mispred    bool
+}
+
+// Core is one simulated core. Construct with New, then Run (or Tick in a
+// multi-core harness such as the DLA driver).
+type Core struct {
+	Cfg   Config
+	Feed  Feeder
+	Dir   DirectionSource
+	Vals  ValueSource
+	Hooks Hooks
+
+	L1I, L1D *cache.Cache
+
+	btb *branch.BTB
+	ras *branch.RAS
+
+	// fetch state
+	fetchQ        []fqEntry
+	lastBlock     uint64
+	haveBlock     bool
+	fetchStall    uint64 // no fetch before this cycle
+	blockedOnSpec bool   // stop fetch until the mispredicted branch issues
+	feederDone    bool
+
+	// backend state
+	rob        []robEntry
+	head, tail int // ring indices
+	count      int
+	lsqCount   int
+	seqCounter uint64
+	lastWriter [isa.NumRegs]int32
+	writerSeq  [isa.NumRegs]uint64
+	freeInt    int
+	freeFP     int
+	scoreboard [isa.NumRegs]bool // value-validated marks (skip-validation)
+
+	now uint64
+
+	M Metrics
+}
+
+// New constructs a core over the given caches with its own BTB/RAS.
+func New(cfg Config, feed Feeder, dir DirectionSource, l1i, l1d *cache.Cache) *Core {
+	c := &Core{
+		Cfg:     cfg,
+		Feed:    feed,
+		Dir:     dir,
+		L1I:     l1i,
+		L1D:     l1d,
+		btb:     branch.NewBTB(cfg.BTBBits),
+		ras:     branch.NewRAS(cfg.RASEntries),
+		rob:     make([]robEntry, cfg.ROB),
+		freeInt: cfg.IntPRF - isa.NumIntRegs,
+		freeFP:  cfg.FPPRF - isa.NumFPRegs,
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+	}
+	if cfg.TrackFetchQOcc {
+		c.M.FetchQOcc = stats.NewHistogram(cfg.FetchBufSize)
+	}
+	if cfg.TrackSupply {
+		c.M.Supply = stats.NewHistogram(cfg.FetchWidth)
+	}
+	if cfg.TrackDemand {
+		c.M.Demand = stats.NewHistogram(cfg.DecodeWidth)
+	}
+	return c
+}
+
+// Now reports the core's current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Done reports whether the core has drained: feeder exhausted and no
+// in-flight work.
+func (c *Core) Done() bool {
+	return c.feederDone && len(c.fetchQ) == 0 && c.count == 0
+}
+
+// Tick advances the core by one cycle. Stages run commit -> issue ->
+// dispatch -> fetch so that same-cycle resource frees are visible
+// upstream, matching the usual reverse-order stage evaluation.
+func (c *Core) Tick() {
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	if c.M.FetchQOcc != nil {
+		c.M.FetchQOcc.Add(len(c.fetchQ))
+	}
+	c.now++
+	c.M.Cycles++
+}
+
+// StallTick advances the clock one cycle without doing any work. The DLA
+// driver uses it to stall the look-ahead core (full BOQ, reboot window)
+// while keeping both cores on the same clock.
+func (c *Core) StallTick() {
+	c.now++
+	c.M.Cycles++
+	if c.M.FetchQOcc != nil {
+		c.M.FetchQOcc.Add(len(c.fetchQ))
+	}
+}
+
+// Flush squashes all in-flight work: the fetch queue and every ROB entry
+// are discarded and resource counts reset. The feeder, caches, predictors
+// and metrics are untouched. The DLA reboot path uses this to reset the
+// look-ahead core.
+func (c *Core) Flush() {
+	c.fetchQ = c.fetchQ[:0]
+	for i := range c.rob {
+		c.rob[i].live = false
+	}
+	c.head, c.tail, c.count = 0, 0, 0
+	c.lsqCount = 0
+	c.freeInt = c.Cfg.IntPRF - isa.NumIntRegs
+	c.freeFP = c.Cfg.FPPRF - isa.NumFPRegs
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+		c.scoreboard[i] = false
+	}
+	c.blockedOnSpec = false
+	c.haveBlock = false
+	c.feederDone = false
+}
+
+// Run executes until the feeder drains or maxInsts commit. It returns the
+// metrics (also available as c.M).
+func (c *Core) Run(maxInsts uint64) *Metrics {
+	guard := maxInsts*1000 + 1_000_000
+	for !c.Done() && (maxInsts == 0 || c.M.Committed < maxInsts) {
+		c.Tick()
+		if c.M.Cycles > guard {
+			c.M.Deadlocked = true
+			break
+		}
+	}
+	return &c.M
+}
+
+func (c *Core) slot(i int32) *robEntry { return &c.rob[i] }
+
+// producerReady reports when the value produced by slot/seq becomes
+// available, or (0,true) if the producer already left the ROB.
+func (c *Core) producerReady(slotIdx int32, seq uint64) (uint64, bool) {
+	if slotIdx < 0 {
+		return 0, true
+	}
+	e := c.slot(slotIdx)
+	if !e.live || e.seq != seq {
+		return 0, true // committed: value architecturally available
+	}
+	if e.skipVal || (e.valPred && e.valCorrect) {
+		return e.dispatchCycle + 1, true
+	}
+	if !e.issued {
+		return 0, false
+	}
+	return e.execDone, true
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *Core) commit() {
+	for n := 0; n < c.Cfg.CommitWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.issued || e.execDone > c.now {
+			return
+		}
+		if e.d.In.Op.IsStore() {
+			c.L1D.Access(e.d.EA, true, false, c.now)
+		}
+		if e.d.In.Op.IsMem() {
+			c.lsqCount--
+		}
+		if e.intDest {
+			c.freeInt++
+		}
+		if e.fpDest {
+			c.freeFP++
+		}
+		if c.Hooks.OnCommit != nil {
+			c.Hooks.OnCommit(&e.d, c.now)
+		}
+		e.live = false
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.M.Committed++
+	}
+}
+
+// ----------------------------------------------------------------- issue
+
+func (c *Core) issue() {
+	fuLeft := [3]int{c.Cfg.IntFUs, c.Cfg.MemFUs, c.Cfg.FPFUs}
+	issued := 0
+	for k, idx := 0, c.head; k < c.count && issued < c.Cfg.IssueWidth; k, idx = k+1, (idx+1)%len(c.rob) {
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		if e.dispatchCycle+1 > c.now {
+			break // younger entries dispatched no earlier; all not ready
+		}
+		// Skip-validation entries complete without execution.
+		if e.skipVal {
+			e.issued = true
+			e.execDone = e.dispatchCycle + 1
+			continue
+		}
+		ready := uint64(0)
+		ok := true
+		for p := 0; p < 2; p++ {
+			t, r := c.producerReady(e.prod[p], e.prodSeq[p])
+			if !r {
+				ok = false
+				break
+			}
+			if t > ready {
+				ready = t
+			}
+		}
+		if !ok || ready > c.now {
+			continue
+		}
+		fu := fuOf(e.d.In.Op.Class())
+		if fu != fuNone {
+			if fuLeft[fu] == 0 {
+				continue
+			}
+			fuLeft[fu]--
+		}
+		issued++
+		c.M.Issued++
+		e.issued = true
+		c.execOne(e)
+		if c.Hooks.OnIssue != nil {
+			c.Hooks.OnIssue(&e.d, e.dispatchCycle, e.execDone)
+		}
+		c.M.DispExecSum += e.execDone - e.dispatchCycle
+		c.M.DispExecCount++
+	}
+}
+
+// execOne computes the completion time of an issuing instruction and
+// performs its side effects (cache access, branch resolution scheduling).
+func (c *Core) execOne(e *robEntry) {
+	op := e.d.In.Op
+	switch {
+	case op.IsLoad():
+		c.M.Loads++
+		if e.fwd >= 0 {
+			fe := c.slot(e.fwd)
+			if fe.live && fe.seq == e.fwdSeq {
+				// Store-to-load forwarding: one cycle after the store's
+				// address/data are ready.
+				t := fe.execDone
+				if !fe.issued {
+					t = c.now + 1 // should not happen; be safe
+				}
+				if t < c.now {
+					t = c.now
+				}
+				e.execDone = t + 1
+				break
+			}
+		}
+		res := c.L1D.Access(e.d.EA, false, false, c.now)
+		e.execDone = res.Done
+		if res.Level >= 1 && res.Level <= 4 {
+			c.M.LoadLevelHits[res.Level]++
+		}
+		if c.Hooks.OnLoadAccess != nil {
+			c.Hooks.OnLoadAccess(&e.d, res.Level, res.Done, c.now)
+		}
+	case op.IsStore():
+		c.M.Stores++
+		e.execDone = c.now + execLatency(isa.ClassStore)
+	default:
+		e.execDone = c.now + execLatency(op.Class())
+	}
+
+	if op.IsControl() {
+		if e.mispred {
+			resume := e.execDone + c.Cfg.RedirectPenalty
+			if resume > c.fetchStall {
+				c.fetchStall = resume
+			}
+			c.blockedOnSpec = false
+			c.M.WrongPathDecoded += uint64(c.Cfg.DecodeWidth) * (c.Cfg.FrontendDepth + 4) / 2
+			c.M.WrongPathExecuted += uint64(c.Cfg.IssueWidth) * 3
+		}
+		if c.Hooks.OnBranchResolve != nil {
+			c.Hooks.OnBranchResolve(&e.d, e.mispred, e.execDone)
+		}
+	}
+
+	if e.valPred && !e.valCorrect {
+		// Wrong value prediction: replay recovery charged as a frontend
+		// bubble; the architectural value is available at execDone.
+		resume := e.execDone + c.Cfg.ValueReplayPenalty
+		if resume > c.fetchStall {
+			c.fetchStall = resume
+		}
+		if c.Vals != nil {
+			c.Vals.OnOutcome(&e.d, false)
+		}
+	} else if e.valPred && c.Vals != nil {
+		c.Vals.OnOutcome(&e.d, true)
+	}
+}
+
+// -------------------------------------------------------------- dispatch
+
+func (c *Core) dispatch() {
+	if c.Cfg.InfiniteBackend {
+		// Ideal backend: decode drains everything fetched in earlier
+		// cycles.
+		for len(c.fetchQ) > 0 && c.fetchQ[0].fetchCycle < c.now {
+			c.fetchQ = c.fetchQ[1:]
+			c.M.Dispatched++
+			c.M.Committed++
+		}
+		return
+	}
+	if c.Cfg.PerfectFrontend {
+		c.dispatchPerfectFrontend()
+		return
+	}
+
+	n := 0
+	starved := false
+	for n < c.Cfg.DecodeWidth {
+		if len(c.fetchQ) == 0 || c.fetchQ[0].fetchCycle >= c.now {
+			starved = true
+			break
+		}
+		if c.count >= c.Cfg.ROB {
+			break
+		}
+		fe := &c.fetchQ[0]
+		if !c.tryDispatch(fe) {
+			break
+		}
+		c.fetchQ = c.fetchQ[1:]
+		n++
+	}
+	c.M.Dispatched += uint64(n)
+	if starved && n < c.Cfg.DecodeWidth && c.count < c.Cfg.ROB {
+		c.M.FetchBubbles += uint64(c.Cfg.DecodeWidth - n)
+	}
+	if c.M.Demand != nil {
+		c.M.Demand.Add(n)
+	}
+}
+
+// dispatchPerfectFrontend pulls directly from the feeder, bypassing fetch.
+func (c *Core) dispatchPerfectFrontend() {
+	n := 0
+	for n < c.Cfg.DecodeWidth && c.count < c.Cfg.ROB {
+		d, ok := c.Feed.Peek()
+		if !ok {
+			c.feederDone = true
+			break
+		}
+		fe := fqEntry{d: d, fetchCycle: c.now}
+		if !c.tryDispatch(&fe) {
+			break
+		}
+		c.Feed.Advance()
+		n++
+	}
+	c.M.Dispatched += uint64(n)
+	c.M.Fetched += uint64(n)
+	if c.M.Demand != nil {
+		c.M.Demand.Add(n)
+	}
+}
+
+// tryDispatch inserts one fetched instruction into the ROB; false means a
+// structural hazard (LSQ/PRF) blocks dispatch this cycle.
+func (c *Core) tryDispatch(fe *fqEntry) bool {
+	d := &fe.d
+	isMem := d.In.Op.IsMem()
+	if isMem && c.lsqCount >= c.Cfg.LSQ {
+		return false
+	}
+	dest := d.In.Dest()
+	intDest := dest != isa.NoReg && dest != isa.RegZero && dest < isa.FPRegBase
+	fpDest := dest != isa.NoReg && dest >= isa.FPRegBase
+	if intDest && c.freeInt == 0 {
+		return false
+	}
+	if fpDest && c.freeFP == 0 {
+		return false
+	}
+
+	e := &c.rob[c.tail]
+	c.seqCounter++
+	*e = robEntry{
+		d:             *d,
+		seq:           c.seqCounter,
+		live:          true,
+		dispatchCycle: c.now,
+		mispred:       fe.mispred,
+		prod:          [2]int32{-1, -1},
+		fwd:           -1,
+		intDest:       intDest,
+		fpDest:        fpDest,
+	}
+
+	// Register dependencies.
+	var srcBuf [2]uint8
+	srcs := d.In.Sources(srcBuf[:0])
+	for i, r := range srcs {
+		if r == isa.RegZero {
+			continue
+		}
+		if w := c.lastWriter[r]; w >= 0 {
+			we := c.slot(w)
+			if we.live && we.seq == c.writerSeq[r] {
+				e.prod[i] = w
+				e.prodSeq[i] = c.writerSeq[r]
+			}
+		}
+	}
+
+	// Store-to-load forwarding: the youngest older store to the same word.
+	if d.In.Op.IsLoad() {
+		word := d.EA >> 3
+		for k, idx := 1, (c.tail-1+len(c.rob))%len(c.rob); k <= c.count; k, idx = k+1, (idx-1+len(c.rob))%len(c.rob) {
+			se := &c.rob[idx]
+			if !se.live {
+				break
+			}
+			if se.d.In.Op.IsStore() && se.d.EA>>3 == word {
+				e.fwd = int32(idx)
+				e.fwdSeq = se.seq
+				break
+			}
+		}
+	}
+
+	// Value prediction (DLA value reuse).
+	if c.Vals != nil && d.HasVal {
+		if pv, ok := c.Vals.Lookup(d); ok {
+			e.valPred = true
+			e.valCorrect = pv == d.Val
+			c.M.ValuePreds++
+			if !e.valCorrect {
+				c.M.ValueMispreds++
+			}
+			if c.Cfg.SkipValidation && d.In.Op.Class() == isa.ClassALU && c.sourcesValidated(srcs) {
+				e.skipVal = true
+				c.M.Skipped++
+			}
+		}
+	}
+	c.updateScoreboard(d, e.valPred)
+
+	if intDest {
+		c.freeInt--
+	}
+	if fpDest {
+		c.freeFP--
+	}
+	if dest != isa.NoReg && dest != isa.RegZero {
+		c.lastWriter[dest] = int32(c.tail)
+		c.writerSeq[dest] = e.seq
+	}
+	if isMem {
+		c.lsqCount++
+	}
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.count++
+	return true
+}
+
+func (c *Core) sourcesValidated(srcs []uint8) bool {
+	for _, r := range srcs {
+		if r == isa.RegZero {
+			continue
+		}
+		if !c.scoreboard[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// updateScoreboard implements the decode-stage validation scoreboard of
+// Sec. III-D1: ALU instructions producing a value prediction mark their
+// destination validated; any other writer clears it.
+func (c *Core) updateScoreboard(d *emu.DynInst, valPred bool) {
+	dest := d.In.Dest()
+	if dest == isa.NoReg || dest == isa.RegZero {
+		return
+	}
+	c.scoreboard[dest] = valPred && d.In.Op.Class() == isa.ClassALU
+}
+
+// ----------------------------------------------------------------- fetch
+
+func (c *Core) fetch() {
+	if c.Cfg.PerfectFrontend {
+		return
+	}
+	if c.now < c.fetchStall || c.blockedOnSpec {
+		return
+	}
+	fetched := 0
+	for fetched < c.Cfg.FetchWidth && len(c.fetchQ) < c.Cfg.FetchBufSize {
+		d, ok := c.Feed.Peek()
+		if !ok {
+			c.feederDone = true
+			break
+		}
+		if c.Hooks.FetchTag != nil {
+			d.Tag = c.Hooks.FetchTag()
+		}
+
+		// I-cache: one access per block transition.
+		blk := isa.PCAddr(d.PC) >> c.L1I.BlockBits()
+		if !c.haveBlock || blk != c.lastBlock {
+			res := c.L1I.Access(isa.PCAddr(d.PC), false, false, c.now)
+			c.lastBlock, c.haveBlock = blk, true
+			if res.Level > 1 {
+				// I-cache miss: fetch resumes when the fill returns.
+				c.fetchStall = res.Done
+				break
+			}
+		}
+
+		mispred := false
+		op := d.In.Op
+		switch {
+		case op.IsCondBranch():
+			pred, ok := c.Dir.PredictAndTrain(d.PC, d.Taken, c.now)
+			if !ok {
+				c.M.FetchStallBOQ++
+				return // direction source empty (BOQ): retry next cycle
+			}
+			c.M.CondBranches++
+			if pred != d.Taken {
+				mispred = true
+				c.M.DirMispredicts++
+			}
+		case op.IsIndirect():
+			var target int
+			var okT bool
+			if c.Hooks.TargetHint != nil {
+				target, okT = c.Hooks.TargetHint(&d)
+			}
+			if !okT {
+				if op == isa.RET {
+					target, okT = c.ras.Pop()
+				} else {
+					target, okT = c.btb.Lookup(d.PC)
+				}
+			} else if op == isa.RET {
+				c.ras.Pop() // keep the stack aligned even when hinted
+			}
+			if op == isa.CALR {
+				c.ras.Push(d.PC + 1)
+			}
+			if !okT || target != d.NextPC {
+				mispred = true
+				c.M.TargetMispredicts++
+			}
+			c.btb.Update(d.PC, d.NextPC)
+		case op == isa.CALL:
+			c.ras.Push(d.PC + 1)
+		}
+
+		c.Feed.Advance()
+		c.M.Fetched++
+		fetched++
+		c.fetchQ = append(c.fetchQ, fqEntry{d: d, fetchCycle: c.now, mispred: mispred})
+
+		if mispred {
+			c.blockedOnSpec = true // wrong path beyond here: stall until resolve
+			break
+		}
+		if op.IsControl() && d.Taken {
+			c.haveBlock = false // redirect: next fetch touches a new block
+			if !c.Cfg.NoFetchBreakOnTaken {
+				break
+			}
+		}
+	}
+	if c.M.Supply != nil {
+		c.M.Supply.Add(fetched)
+	}
+}

@@ -1,0 +1,98 @@
+package rival
+
+import (
+	"testing"
+
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/workloads"
+)
+
+const budget = 40_000
+
+func prep(t *testing.T, name string) (*workloads.Workload, func(*emu.Memory), *core.Profile) {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("workload %s missing", name)
+	}
+	prog, trainSetup := w.Build(1)
+	prof := core.Collect(prog, trainSetup, budget)
+	return w, trainSetup, prof
+}
+
+func TestSlipStreamRuns(t *testing.T) {
+	w, _, prof := prep(t, "mcf")
+	prog, setup := w.Build(2)
+	r := RunSlipStream(prog, setup, prof, budget)
+	if r.MT.Deadlocked || r.MT.Committed < budget {
+		t.Fatalf("slipstream run broken: %+v", r.MT)
+	}
+}
+
+func TestSlipStreamLeaderKeepsAllMemory(t *testing.T) {
+	// SlipStream's A-stream keeps every memory instruction (it removes
+	// only ineffectual work), unlike the DLA skeleton.
+	w, _, prof := prep(t, "mcf")
+	prog, _ := w.Build(2)
+	ss := core.GenerateSlipstream(prog, prof)
+	for pc := range prog.Insts {
+		if prog.Insts[pc].Op.IsMem() && !ss.Baseline.Include[pc] {
+			t.Fatalf("memory inst @%d missing from slipstream leader", pc)
+		}
+	}
+	dla := core.Generate(prog, prof)
+	if ss.Baseline.Size < dla.Baseline.Size {
+		t.Fatalf("slipstream leader (%d) smaller than the DLA skeleton (%d)",
+			ss.Baseline.Size, dla.Baseline.Size)
+	}
+}
+
+func TestCRERuns(t *testing.T) {
+	w, _, prof := prep(t, "mcf")
+	prog, setup := w.Build(2)
+	r := RunCRE(prog, setup, prof, budget)
+	if r.MT.Deadlocked || r.MT.Committed < budget {
+		t.Fatalf("CRE run broken: committed=%d", r.MT.Committed)
+	}
+	// CRE's MT predicts for itself: its direction source must never
+	// stall fetch on the helper.
+	if r.MT.FetchStallBOQ != 0 {
+		t.Fatalf("CRE stalled MT fetch %d cycles on helper queue", r.MT.FetchStallBOQ)
+	}
+}
+
+func TestCREChainsSmallerThanDLASkeleton(t *testing.T) {
+	w, _, prof := prep(t, "mcf")
+	prog, _ := w.Build(2)
+	cre := core.GenerateCRE(prog, prof)
+	dla := core.Generate(prog, prof)
+	if cre.Baseline.Size > dla.Baseline.Size {
+		t.Fatalf("CRE chains (%d) should not exceed the DLA skeleton (%d)",
+			cre.Baseline.Size, dla.Baseline.Size)
+	}
+}
+
+func TestBFetchRunsAndPrefetches(t *testing.T) {
+	w := workloads.ByName("libq")
+	prog, setup := w.Build(2)
+	m := RunBFetch(prog, setup, budget)
+	if m.Deadlocked || m.Committed < budget {
+		t.Fatal("bfetch run broken")
+	}
+}
+
+func TestRivalOrderingOnGather(t *testing.T) {
+	// On a gather-dominated workload (sparse matvec) the look-ahead
+	// thread runs ahead computing gather addresses, so full DLA should
+	// beat the prefetch-only CRE — the paper's Fig. 9-b ordering.
+	w, _, prof := prep(t, "cg")
+	prog, setup := w.Build(2)
+	set := core.Generate(prog, prof)
+
+	dla := core.NewSystem(prog, setup, set, prof, core.DLAOptions()).Run(budget)
+	cre := RunCRE(prog, setup, prof, budget)
+	if dla.IPC() < cre.IPC()*0.95 {
+		t.Fatalf("DLA (%.3f) should not lose to CRE (%.3f) on gathers", dla.IPC(), cre.IPC())
+	}
+}

@@ -1,0 +1,205 @@
+// Package stats provides the small statistical and reporting helpers shared
+// by the experiment harness: geometric means, ranges, histograms, and
+// fixed-width table rendering for regenerating the paper's tables/figures
+// as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs. Non-positive entries are
+// ignored (they would be NaN in log space); an empty input yields 0.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MinMax returns the extrema of xs (0,0 for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Histogram is a fixed-bin counting histogram over small non-negative
+// integers (queue lengths, widths per cycle, …).
+type Histogram struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram returns a histogram with bins [0, n].
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Counts: make([]uint64, n+1)}
+}
+
+// Add counts one observation of value v (clamped into range).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+	h.Total++
+}
+
+// P returns the empirical probability of bin v.
+func (h *Histogram) P(v int) float64 {
+	if h.Total == 0 || v < 0 || v >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.Total)
+}
+
+// Dist returns the whole distribution as probabilities.
+func (h *Histogram) Dist() []float64 {
+	d := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		if h.Total > 0 {
+			d[i] = float64(c) / float64(h.Total)
+		}
+	}
+	return d
+}
+
+// Mean returns the histogram's mean value.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.Counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.Total)
+}
+
+// Table renders fixed-width text tables for the experiment reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowF appends a row where float cells are formatted with %.*f.
+func (t *Table) AddRowF(prec int, label string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.*f", prec, v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bar renders a crude one-line ASCII bar for value v against full-scale hi.
+func Bar(v, hi float64, width int) string {
+	if hi <= 0 {
+		hi = 1
+	}
+	n := int(v / hi * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,305 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+// cronoSuite reproduces the CRONO graph-analytics workloads over random
+// CSR graphs (the paper uses google/amazon/twitter/road-network inputs;
+// we use seeded synthetic graphs of the same irregular-gather character).
+func cronoSuite() []*Workload {
+	return []*Workload{
+		{Name: "bfs", Suite: "crono", Build: buildBFS},
+		{Name: "sssp", Suite: "crono", Build: buildSSSP},
+		{Name: "pagerank", Suite: "crono", Build: buildPagerank},
+		{Name: "cc", Suite: "crono", Build: buildCC},
+		{Name: "tri", Suite: "crono", Build: buildTri},
+	}
+}
+
+const (
+	graphV   = 1 << 16
+	graphDeg = 4
+)
+
+// emitEdgeLoopHeader emits the standard CSR edge-scan prologue: for
+// vertex rA, loads edge range [rB, rC) from rowPtr.
+func emitEdgeLoopHeader(b *isa.Builder) {
+	b.Li(rD, regA)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rB, rD, 0) // rowPtr[v]
+	b.Ld(rC, rD, 8) // rowPtr[v+1]
+}
+
+// bfs: frontier-less sweep variant — iterate all vertices, and for the
+// unvisited ones whose distance is set, relax neighbours (level-
+// synchronous BFS as CRONO implements it).
+func buildBFS(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("bfs")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0) // vertex
+	b.Label("vloop")
+	// dist[v]
+	b.Li(rF, regC)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rF, rF, rE)
+	b.Ld(rG, rF, 0)
+	// Skip unreached vertices (depends on data: irregular branch).
+	b.Br(isa.BEQ, rG, isa.RegZero, "nextv")
+	emitPayloadInt(b, rG, 30)
+	emitEdgeLoopHeader(b)
+	b.Label("eloop")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "nextv")
+	// neighbour = colIdx[e]
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0)
+	// dist[n] = min(dist[n], dist[v]+1): gather + conditional store
+	b.Li(rI, regC)
+	b.I(isa.SHLI, rE, rH, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Ld(rJ, rI, 0)
+	b.I(isa.ADDI, rK, rG, 1)
+	b.R(isa.SLT, rE, rK, rJ)
+	b.Br(isa.BEQ, rE, isa.RegZero, "norelax")
+	b.St(rK, rI, 0)
+	b.Label("norelax")
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("eloop")
+	b.Label("nextv")
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, graphV)
+	b.Br(isa.BNE, rA, rE, "vloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), graphSetup(seed, true)
+}
+
+// graphSetup builds the CSR plus per-vertex arrays.
+func graphSetup(seed int64, distances bool) func(*emu.Memory) {
+	return func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		buildCSR(m, rng, graphV, graphDeg)
+		for v := 0; v < graphV; v++ {
+			if distances {
+				// Sparse initial reachability, large distances elsewhere.
+				d := uint64(1 << 30)
+				if rng.Intn(64) == 0 {
+					d = uint64(rng.Intn(4) + 1)
+				}
+				m.Write(regC+uint64(v)*8, d)
+			} else {
+				m.Write(regC+uint64(v)*8, uint64(rng.Intn(1000)+1))
+			}
+			m.Write(regD+uint64(v)*8, uint64(v))
+		}
+	}
+}
+
+// sssp: Bellman-Ford-style relaxation sweeps with weighted edges (weight
+// derived from the neighbour id to avoid a third array).
+func buildSSSP(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("sssp")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0)
+	b.Label("vloop")
+	b.Li(rF, regC)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rF, rF, rE)
+	b.Ld(rG, rF, 0) // dist[v]
+	emitPayloadInt(b, rG, 30)
+	emitEdgeLoopHeader(b)
+	b.Label("eloop")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "nextv")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0) // neighbour
+	b.I(isa.ANDI, rL, rH, 63)
+	b.I(isa.ADDI, rL, rL, 1) // weight
+	b.R(isa.ADD, rK, rG, rL)
+	b.Li(rI, regC)
+	b.I(isa.SHLI, rE, rH, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Ld(rJ, rI, 0)
+	b.R(isa.SLT, rE, rK, rJ)
+	b.Br(isa.BEQ, rE, isa.RegZero, "norelax")
+	b.St(rK, rI, 0)
+	b.Label("norelax")
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("eloop")
+	b.Label("nextv")
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, graphV)
+	b.Br(isa.BNE, rA, rE, "vloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), graphSetup(seed, false)
+}
+
+// pagerank: rank gather over incoming neighbours with FP accumulation.
+func buildPagerank(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("pagerank")
+	f0, f1, f2 := isa.FReg(0), isa.FReg(1), isa.FReg(2)
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0)
+	b.Label("vloop")
+	b.Li(rL, 0)
+	b.R(isa.FCVT, f1, rL, 0) // sum = 0.0
+	emitEdgeLoopHeader(b)
+	b.Label("eloop")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "flush")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0) // neighbour
+	// rank[n] (FP gather)
+	b.Li(rI, regC)
+	b.I(isa.SHLI, rE, rH, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Fld(f0, rI, 0)
+	b.R(isa.FADD, f1, f1, f0)
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("eloop")
+	b.Label("flush")
+	// newrank[v] = 0.85 * sum (damping constant preloaded at regE)
+	b.Li(rI, regE)
+	b.Fld(f2, rI, 0)
+	b.R(isa.FMUL, f1, f1, f2)
+	b.Li(rI, regD)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Fst(f1, rI, 0)
+	emitPayloadFP(b, f1, 24)
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, graphV)
+	b.Br(isa.BNE, rA, rE, "vloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		buildCSR(m, rng, graphV, graphDeg)
+		for v := 0; v < graphV; v++ {
+			m.Write(regC+uint64(v)*8, floatBits(1.0/float64(graphV)))
+		}
+		m.Write(regE, floatBits(0.85))
+	}
+}
+
+// cc: connected components by label propagation.
+func buildCC(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("cc")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0)
+	b.Label("vloop")
+	b.Li(rF, regD)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rF, rF, rE)
+	b.Ld(rG, rF, 0) // label[v]
+	emitEdgeLoopHeader(b)
+	b.Label("eloop")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "wb")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0)
+	b.Li(rI, regD)
+	b.I(isa.SHLI, rE, rH, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Ld(rJ, rI, 0)          // label[n]
+	b.R(isa.SLT, rE, rJ, rG) // adopt smaller label
+	b.Br(isa.BEQ, rE, isa.RegZero, "noadopt")
+	b.Mov(rG, rJ)
+	b.Label("noadopt")
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("eloop")
+	b.Label("wb")
+	b.St(rG, rF, 0)
+	emitPayloadInt(b, rG, 30)
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, graphV)
+	b.Br(isa.BNE, rA, rE, "vloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), graphSetup(seed, false)
+}
+
+// tri: triangle counting — for each vertex, for each neighbour pair,
+// probe adjacency via a hashed edge-signature table (CRONO's intersection
+// flavour with unpredictable probe branches).
+func buildTri(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("tri")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0)
+	b.Label("vloop")
+	emitEdgeLoopHeader(b)
+	b.Label("e1")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "nextv")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0) // u
+	b.I(isa.ADDI, rI, rB, 1)
+	b.Label("e2")
+	b.R(isa.SLT, rE, rI, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "e1next")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rI, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rJ, rD, 0) // w
+	// Probe the edge-signature table for (u,w).
+	b.I(isa.SHLI, rK, rH, 16)
+	b.R(isa.XOR, rK, rK, rJ)
+	b.Li(rL, graphV-1)
+	b.R(isa.AND, rK, rK, rL)
+	b.I(isa.SHLI, rK, rK, 3)
+	b.Li(rL, regE)
+	b.R(isa.ADD, rL, rL, rK)
+	b.Ld(rM, rL, 0)
+	b.R(isa.XOR, rM, rM, rH)
+	b.I(isa.ANDI, rM, rM, 7)
+	b.Br(isa.BNE, rM, isa.RegZero, "notri")
+	b.I(isa.ADDI, rG, rG, 1) // triangle found
+	b.Label("notri")
+	emitPayloadInt(b, rM, 16)
+	b.I(isa.ADDI, rI, rI, 1)
+	b.Jmp("e2")
+	b.Label("e1next")
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("e1")
+	b.Label("nextv")
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, graphV)
+	b.Br(isa.BNE, rA, rE, "vloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		buildCSR(m, rng, graphV, graphDeg)
+		fillWords(m, regE, graphV, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+func floatBits(f float64) uint64 {
+	return mathFloat64bits(f)
+}

@@ -1,0 +1,286 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+// npbSuite reproduces the NAS Parallel Benchmarks kernels.
+func npbSuite() []*Workload {
+	return []*Workload{
+		{Name: "cg", Suite: "npb", Build: buildCG},
+		{Name: "mg", Suite: "npb", Build: buildMG},
+		{Name: "ft", Suite: "npb", Build: buildFT},
+		{Name: "is", Suite: "npb", Build: buildIS},
+		{Name: "ep", Suite: "npb", Build: buildEP},
+		{Name: "lu", Suite: "npb", Build: buildLU},
+	}
+}
+
+// cg: conjugate-gradient flavour — sparse matrix-vector product (CSR
+// gather) with FP accumulation.
+func buildCG(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const rows = 1 << 14
+	f0, f1, f2 := isa.FReg(0), isa.FReg(1), isa.FReg(2)
+	b := isa.NewBuilder("cg")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0) // row
+	b.Label("rloop")
+	b.Li(rD, regA)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rB, rD, 0)
+	b.Ld(rC, rD, 8)
+	b.Li(rL, 0)
+	b.R(isa.FCVT, f1, rL, 0)
+	b.Label("eloop")
+	b.R(isa.SLT, rE, rB, rC)
+	b.Br(isa.BEQ, rE, isa.RegZero, "wb")
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rB, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rH, rD, 0)                 // col
+	b.Fld(f2, rD, int64(regF-regB)) // a[e] stored parallel to colIdx
+	b.Li(rI, regC)
+	b.I(isa.SHLI, rE, rH, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Fld(f0, rI, 0) // x[col] gather
+	b.R(isa.FMUL, f0, f0, f2)
+	b.R(isa.FADD, f1, f1, f0)
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Jmp("eloop")
+	b.Label("wb")
+	b.Li(rI, regD)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rI, rI, rE)
+	b.Fst(f1, rI, 0)
+	emitPayloadFP(b, f1, 26)
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, rows)
+	b.Br(isa.BNE, rA, rE, "rloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		g := buildCSR(m, rng, rows, 6)
+		for e := 0; e < g.E; e++ {
+			m.Write(regF+uint64(e)*8, floatBits(rng.Float64()))
+		}
+		for v := 0; v < rows; v++ {
+			m.Write(regC+uint64(v)*8, floatBits(rng.Float64()))
+		}
+	}
+}
+
+// mg: multigrid flavour — 7-point stencil over a 3D grid: multiple
+// parallel strided streams at +-1, +-nx, +-nx*ny words.
+func buildMG(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const nx, ny, nz = 64, 64, 32
+	const plane = nx * ny
+	f0, f1 := isa.FReg(0), isa.FReg(1)
+	b := isa.NewBuilder("mg")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA+plane*8+nx*8+8) // first interior cell
+	b.Li(rI, (nz-2)*plane-2*nx-2)
+	b.Label("cell")
+	b.Fld(f0, rA, 0)
+	b.Fld(f1, rA, 8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fld(f1, rA, -8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fld(f1, rA, nx*8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fld(f1, rA, -nx*8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fld(f1, rA, plane*8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fld(f1, rA, -plane*8)
+	b.R(isa.FADD, f0, f0, f1)
+	b.Fst(f0, rA, int64(regB-regA))
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "cell")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, nx*ny*nz, func(i int) uint64 { return floatBits(rng.Float64()) })
+	}
+}
+
+// ft: FFT flavour — butterfly passes with power-of-two strides.
+func buildFT(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const n = 1 << 16
+	f0, f1, f2 := isa.FReg(0), isa.FReg(1), isa.FReg(2)
+	b := isa.NewBuilder("ft")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rK, 8) // stride in bytes, doubles per stage
+	b.Label("stage")
+	b.Li(rA, regA)
+	b.Li(rI, n/2)
+	b.Label("bfly")
+	b.Fld(f0, rA, 0)
+	b.R(isa.ADD, rC, rA, rK)
+	b.Fld(f1, rC, 0)
+	b.R(isa.FADD, f2, f0, f1)
+	b.R(isa.FSUB, f0, f0, f1)
+	b.Fst(f2, rA, 0)
+	b.Fst(f0, rC, 0)
+	b.I(isa.SHLI, rD, rK, 1)
+	b.R(isa.ADD, rA, rA, rD)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "bfly")
+	b.I(isa.SHLI, rK, rK, 1)
+	b.Li(rE, 8*256) // 8 stages
+	b.Br(isa.BNE, rK, rE, "stage")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, n, func(i int) uint64 { return floatBits(rng.NormFloat64()) })
+	}
+}
+
+// is: integer-sort flavour — key histogram (random small stores) then
+// scatter into buckets (random large stores).
+func buildIS(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const keys = 1 << 16
+	const buckets = 1 << 10
+	b := isa.NewBuilder("is")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA) // keys
+	b.Li(rI, keys)
+	b.Label("hist")
+	b.Ld(rB, rA, 0)
+	b.Li(rC, buckets-1)
+	b.R(isa.AND, rC, rB, rC)
+	b.I(isa.SHLI, rC, rC, 3)
+	b.Li(rD, regB)
+	b.R(isa.ADD, rD, rD, rC)
+	b.Ld(rE, rD, 0)
+	b.I(isa.ADDI, rE, rE, 1)
+	b.St(rE, rD, 0)
+	// Scatter key into its bucket region (random long-range store).
+	b.I(isa.SHLI, rF, rC, 8)
+	b.Li(rG, regC)
+	b.R(isa.ADD, rG, rG, rF)
+	b.I(isa.ANDI, rH, rE, 255)
+	b.I(isa.SHLI, rH, rH, 3)
+	b.R(isa.ADD, rG, rG, rH)
+	b.St(rB, rG, 0)
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "hist")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, keys, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// ep: embarrassingly-parallel flavour — PRNG + FP transform, no memory
+// traffic at all (the compute-bound extreme).
+func buildEP(seed int64) (*isa.Program, func(*emu.Memory)) {
+	f0, f1, f2 := isa.FReg(0), isa.FReg(1), isa.FReg(2)
+	b := isa.NewBuilder("ep")
+	b.Li(rO, 1<<30)
+	b.Li(rJ, int64(seed)|1)
+	b.Label("outer")
+	b.Li(rI, 4096)
+	b.Label("iter")
+	emitXorshift(b, rJ, rK)
+	b.I(isa.SHRI, rL, rJ, 12)
+	b.R(isa.FCVT, f0, rL, 0)
+	b.R(isa.FMUL, f1, f0, f0)
+	b.R(isa.FADD, f2, f2, f1)
+	b.R(isa.FDIV, f1, f1, f0)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "iter")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {}
+}
+
+// lu: dense-solver flavour — Gaussian elimination sweeps over a dense FP
+// matrix (row-strided streams with cross-row dependences).
+func buildLU(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const n = 128
+	f0, f1, f2, f3 := isa.FReg(0), isa.FReg(1), isa.FReg(2), isa.FReg(3)
+	b := isa.NewBuilder("lu")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0) // k
+	b.Label("kloop")
+	// pivot = a[k][k]
+	b.Li(rB, n*8)
+	b.R(isa.MUL, rC, rA, rB)
+	b.I(isa.SHLI, rD, rA, 3)
+	b.R(isa.ADD, rC, rC, rD)
+	b.Li(rE, regA)
+	b.R(isa.ADD, rC, rC, rE) // &a[k][k]
+	b.Fld(f0, rC, 0)
+	b.I(isa.ADDI, rF, rA, 1) // i = k+1
+	b.Label("iloop")
+	b.Li(rE, n)
+	b.R(isa.SLT, rG, rF, rE)
+	b.Br(isa.BEQ, rG, isa.RegZero, "knext")
+	// a[i][k] /= pivot
+	b.Li(rB, n*8)
+	b.R(isa.MUL, rG, rF, rB)
+	b.I(isa.SHLI, rD, rA, 3)
+	b.R(isa.ADD, rG, rG, rD)
+	b.Li(rE, regA)
+	b.R(isa.ADD, rG, rG, rE) // &a[i][k]
+	b.Fld(f1, rG, 0)
+	b.R(isa.FDIV, f1, f1, f0)
+	b.Fst(f1, rG, 0)
+	// a[i][j] -= a[i][k] * a[k][j] for j in (k, n)
+	b.I(isa.ADDI, rH, rA, 1) // j
+	b.Label("jloop")
+	b.Li(rE, n)
+	b.R(isa.SLT, rI, rH, rE)
+	b.Br(isa.BEQ, rI, isa.RegZero, "inext")
+	b.I(isa.SHLI, rD, rH, 3)
+	b.R(isa.SUB, rI, rD, rA) // offset within row... compute &a[k][j]
+	b.Li(rB, n*8)
+	b.R(isa.MUL, rJ, rA, rB)
+	b.R(isa.ADD, rJ, rJ, rD)
+	b.Li(rE, regA)
+	b.R(isa.ADD, rJ, rJ, rE)
+	b.Fld(f2, rJ, 0) // a[k][j]
+	b.R(isa.MUL, rJ, rF, rB)
+	b.R(isa.ADD, rJ, rJ, rD)
+	b.R(isa.ADD, rJ, rJ, rE)
+	b.Fld(f3, rJ, 0) // a[i][j]
+	b.R(isa.FMUL, f2, f2, f1)
+	b.R(isa.FSUB, f3, f3, f2)
+	b.Fst(f3, rJ, 0)
+	b.I(isa.ADDI, rH, rH, 1)
+	b.Jmp("jloop")
+	b.Label("inext")
+	b.I(isa.ADDI, rF, rF, 1)
+	b.Jmp("iloop")
+	b.Label("knext")
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, n-1)
+	b.Br(isa.BNE, rA, rE, "kloop")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, n*n, func(i int) uint64 { return floatBits(rng.Float64() + 1.0) })
+	}
+}

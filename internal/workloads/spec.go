@@ -1,0 +1,519 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+// specSuite reproduces the behaviour classes of the SPEC2006 benchmarks
+// named in the paper's figures.
+func specSuite() []*Workload {
+	return []*Workload{
+		{Name: "bzip", Suite: "spec", Build: buildBzip},
+		{Name: "mcf", Suite: "spec", Build: buildMcf},
+		{Name: "gobmk", Suite: "spec", Build: buildGobmk},
+		{Name: "hmmer", Suite: "spec", Build: buildHmmer},
+		{Name: "sjeng", Suite: "spec", Build: buildSjeng},
+		{Name: "libq", Suite: "spec", Build: buildLibquantum},
+		{Name: "h264", Suite: "spec", Build: buildH264},
+		{Name: "omnet", Suite: "spec", Build: buildOmnetpp},
+		{Name: "astar", Suite: "spec", Build: buildAstar},
+		{Name: "xalan", Suite: "spec", Build: buildXalan},
+	}
+}
+
+// bzip: entropy-coding flavour — streaming byte scan with a scattered
+// 256-entry frequency table update and data-dependent branches.
+func buildBzip(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const n = 1 << 17 // 128K words (1MB)
+	b := isa.NewBuilder("bzip")
+	b.Li(rO, 1<<30) // effectively endless outer loop
+	b.Label("outer")
+	b.Li(rA, regA) // input
+	b.Li(rI, n)
+	b.Label("scan")
+	b.Ld(rB, rA, 0) // v = in[i]
+	b.I(isa.ANDI, rC, rB, 255)
+	b.I(isa.SHLI, rC, rC, 3) // bucket offset
+	b.Li(rD, regB)
+	b.R(isa.ADD, rD, rD, rC)
+	b.Ld(rE, rD, 0) // freq[bucket]
+	b.I(isa.ADDI, rE, rE, 1)
+	b.St(rE, rD, 0)
+	b.I(isa.ANDI, rF, rB, 1)
+	b.Br(isa.BEQ, rF, isa.RegZero, "even")
+	b.I(isa.SHRI, rB, rB, 1) // odd path: shift
+	b.R(isa.ADD, rG, rG, rB)
+	b.Jmp("cont")
+	b.Label("even")
+	b.R(isa.XOR, rG, rG, rB)
+	b.Label("cont")
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "scan")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, n, func(i int) uint64 { return rng.Uint64() >> 32 })
+	}
+}
+
+// mcf: network-simplex pricing flavour — a strided scan over the arc
+// array dereferencing each arc's head-node pointer (an L3-hostile random
+// gather), followed by reduced-cost arithmetic on the loaded node data.
+// The gather addresses are computable ahead of the data, which is exactly
+// the structure that lets a look-ahead thread (and no pattern prefetcher)
+// cover the misses.
+func buildMcf(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const arcs = 1 << 17  // arc: [headIdx, cost] = 16B -> 2MB
+	const nodes = 1 << 18 // node: [potential, ...] 64B apart -> 16MB
+	b := isa.NewBuilder("mcf")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA) // arc cursor
+	b.Li(rI, arcs)
+	b.Label("arc")
+	b.Ld(rB, rA, 0) // head node index
+	b.Ld(rC, rA, 8) // arc cost
+	// node = nodes[head] (random gather over 16MB)
+	b.I(isa.SHLI, rD, rB, 6)
+	b.Li(rE, regB)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Ld(rF, rD, 0) // node potential
+	// Reduced cost and data-dependent pivot test.
+	b.R(isa.SUB, rG, rC, rF)
+	b.R(isa.SLT, rH, rG, isa.RegZero)
+	b.Br(isa.BEQ, rH, isa.RegZero, "nopivot")
+	b.St(rG, rD, 8) // update node (rare-ish, data dependent)
+	b.Label("nopivot")
+	// Pricing bookkeeping (the bulk of real mcf's work; skeleton-free).
+	emitPayloadInt(b, rG, 22)
+	b.I(isa.ADDI, rA, rA, 16)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "arc")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < arcs; i++ {
+			m.Write(regA+uint64(i)*16, uint64(rng.Intn(nodes)))
+			m.Write(regA+uint64(i)*16+8, uint64(rng.Intn(1000)))
+		}
+		for i := 0; i < nodes; i += 16 { // touch sparsely; pages allocate on write
+			m.Write(regB+uint64(i)*64, uint64(rng.Intn(500)))
+		}
+	}
+}
+
+// gobmk: board-search flavour — bounded recursion with data-dependent
+// move branches and small-table reads.
+func buildGobmk(seed int64) (*isa.Program, func(*emu.Memory)) {
+	b := isa.NewBuilder("gobmk")
+	b.Li(rO, 1<<30)
+	b.Li(rJ, int64(seed)|1) // PRNG state
+	b.Li(rP, regF)          // memory stack grows down from regF
+	b.Label("outer")
+	b.Li(rA, 7) // recursion depth
+	b.Call("eval")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+
+	// eval(depth=rA): explores two moves per level.
+	b.Label("eval")
+	b.Br(isa.BEQ, rA, isa.RegZero, "leaf")
+	// Save depth and link on a memory stack (rP = stack pointer).
+	b.I(isa.ADDI, rP, rP, -24)
+	b.St(isa.RegLink, rP, 0)
+	b.St(rA, rP, 8)
+	emitXorshift(b, rJ, rK)
+	b.I(isa.ANDI, rL, rJ, 1023)
+	b.I(isa.SHLI, rL, rL, 3)
+	b.Li(rM, regB)
+	b.R(isa.ADD, rM, rM, rL)
+	b.Ld(rN, rM, 0) // board-pattern table read
+	b.St(rN, rP, 16)
+	// Move 1 (taken only when pattern bit set: data dependent).
+	b.I(isa.ANDI, rL, rN, 1)
+	b.Br(isa.BEQ, rL, isa.RegZero, "skip1")
+	b.I(isa.ADDI, rA, rA, -1)
+	b.Call("eval")
+	b.Ld(rA, rP, 8)
+	b.Label("skip1")
+	// Move 2 (always).
+	b.I(isa.ADDI, rA, rA, -1)
+	b.Call("eval")
+	b.Ld(rA, rP, 8)
+	b.Ld(rN, rP, 16)
+	b.R(isa.ADD, rG, rG, rN)
+	b.Ld(isa.RegLink, rP, 0)
+	b.I(isa.ADDI, rP, rP, 24)
+	b.Ret()
+	b.Label("leaf")
+	b.I(isa.ADDI, rG, rG, 1)
+	b.Ret()
+
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regB, 1024, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// hmmer: dynamic-programming flavour — three sequential streams combined
+// with max() selects in a tight inner loop.
+func buildHmmer(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const m = 1 << 15 // model length
+	b := isa.NewBuilder("hmmer")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA) // match[]
+	b.Li(rB, regB) // insert[]
+	b.Li(rC, regC) // emit[]
+	b.Li(rI, m)
+	b.Li(rD, 0) // prev
+	b.Label("dp")
+	b.Ld(rE, rA, 0) // match[j]
+	b.Ld(rF, rB, 0) // insert[j]
+	b.Ld(rG, rC, 0) // emit[j]
+	b.R(isa.ADD, rE, rE, rG)
+	b.R(isa.ADD, rF, rF, rD)
+	b.R(isa.SLT, rH, rE, rF) // h = (e < f)
+	b.Br(isa.BEQ, rH, isa.RegZero, "keepE")
+	b.Mov(rE, rF)
+	b.Label("keepE")
+	b.St(rE, rA, 0)
+	b.Mov(rD, rE)
+	emitPayloadInt(b, rE, 10)
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rB, rB, 8)
+	b.I(isa.ADDI, rC, rC, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "dp")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regA, m, func(i int) uint64 { return uint64(rng.Intn(100)) })
+		fillWords(mem, regB, m, func(i int) uint64 { return uint64(rng.Intn(100)) })
+		fillWords(mem, regC, m, func(i int) uint64 { return uint64(rng.Intn(10)) })
+	}
+}
+
+// sjeng: game-tree flavour — recursion plus transposition-table probes
+// over a large hash region.
+func buildSjeng(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const hashWords = 1 << 19 // 4MB table
+	b := isa.NewBuilder("sjeng")
+	b.Li(rO, 1<<30)
+	b.Li(rJ, int64(seed)|1)
+	b.Li(rP, regF) // memory stack
+	b.Label("outer")
+	b.Li(rA, 6)
+	b.Call("search")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+
+	b.Label("search")
+	b.Br(isa.BEQ, rA, isa.RegZero, "sleaf")
+	b.I(isa.ADDI, rP, rP, -16)
+	b.St(isa.RegLink, rP, 0)
+	b.St(rA, rP, 8)
+	emitXorshift(b, rJ, rK)
+	// Transposition probe.
+	b.Li(rL, int64(hashWords-1))
+	b.R(isa.AND, rL, rJ, rL)
+	b.I(isa.SHLI, rL, rL, 3)
+	b.Li(rM, regC)
+	b.R(isa.ADD, rM, rM, rL)
+	b.Ld(rN, rM, 0)
+	// Cutoff if probe parity matches (unpredictable).
+	b.R(isa.XOR, rN, rN, rJ)
+	b.I(isa.ANDI, rN, rN, 3)
+	b.Br(isa.BEQ, rN, isa.RegZero, "cutoff")
+	b.I(isa.ADDI, rA, rA, -1)
+	b.Call("search")
+	b.Ld(rA, rP, 8)
+	b.I(isa.ADDI, rA, rA, -1)
+	b.Call("search")
+	b.Ld(rA, rP, 8)
+	b.Label("cutoff")
+	b.St(rJ, rM, 0) // update table
+	b.Ld(isa.RegLink, rP, 0)
+	b.I(isa.ADDI, rP, rP, 16)
+	b.Ret()
+	b.Label("sleaf")
+	b.I(isa.ADDI, rG, rG, 1)
+	b.Ret()
+
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regC, hashWords/64, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// libquantum: gate-toggle flavour — pure long-stride streaming passes
+// over a multi-megabyte register file.
+func buildLibquantum(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const n = 1 << 19 // 4MB
+	b := isa.NewBuilder("libq")
+	b.Li(rO, 1<<30)
+	b.Li(rM, 0x5555)
+	b.Label("outer")
+	b.Li(rA, regA)
+	b.Li(rI, n)
+	b.Label("gate")
+	b.Ld(rB, rA, 0)
+	b.R(isa.XOR, rB, rB, rM)
+	b.St(rB, rA, 0)
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "gate")
+	b.I(isa.XORI, rM, rM, 0x3333)
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regA, n, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// h264: motion-estimation flavour — blocked SAD over two frames with a
+// running minimum.
+func buildH264(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const w = 512 // frame width in words
+	const rows = 256
+	b := isa.NewBuilder("h264")
+	b.Li(rO, 1<<30)
+	b.Li(rH, 1<<40) // running minimum SAD
+	b.Label("outer")
+	b.Li(rA, regA) // cur frame
+	b.Li(rB, regB) // ref frame
+	b.Li(rI, int64(rows))
+	b.Label("row")
+	b.Li(rJ, w/8)
+	b.Label("blk")
+	b.Li(rG, 0) // SAD
+	// 8-sample SAD, unrolled.
+	for k := int64(0); k < 8; k++ {
+		lbl := "pos" + itoa(int(k))
+		b.Ld(rC, rA, k*8)
+		b.Ld(rD, rB, k*8)
+		b.R(isa.SUB, rE, rC, rD)
+		b.R(isa.SLT, rF, rE, isa.RegZero)
+		b.Br(isa.BEQ, rF, isa.RegZero, lbl)
+		b.R(isa.SUB, rE, isa.RegZero, rE)
+		b.Label(lbl)
+		b.R(isa.ADD, rG, rG, rE)
+	}
+	// Track minimum SAD (branch, data dependent).
+	b.R(isa.SLT, rF, rG, rH)
+	b.Br(isa.BEQ, rF, isa.RegZero, "nomin")
+	b.Mov(rH, rG)
+	b.Label("nomin")
+	emitPayloadInt(b, rG, 12)
+	b.I(isa.ADDI, rA, rA, 64)
+	b.I(isa.ADDI, rB, rB, 64)
+	b.I(isa.ADDI, rJ, rJ, -1)
+	b.Br(isa.BNE, rJ, isa.RegZero, "blk")
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "row")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regA, w*rows, func(i int) uint64 { return uint64(rng.Intn(256)) })
+		fillWords(mem, regB, w*rows, func(i int) uint64 { return uint64(rng.Intn(256)) })
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// omnetpp: event-simulation flavour — a binary heap in memory with
+// unpredictable comparison branches.
+func buildOmnetpp(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const heapCap = 1 << 14
+	b := isa.NewBuilder("omnet")
+	b.Li(rO, 1<<30)
+	b.Li(rJ, int64(seed)|1)
+	b.Li(rN, heapCap/2) // heap size (fixed; we replace the root each event)
+	b.Label("outer")
+	b.Li(rI, 2048) // events per outer iteration
+	b.Label("event")
+	// Replace root with a new random key, then sift down.
+	emitXorshift(b, rJ, rK)
+	b.Li(rA, 1) // index (1-based)
+	b.Li(rB, regA)
+	b.I(isa.SHLI, rC, rA, 3)
+	b.R(isa.ADD, rC, rB, rC)
+	b.St(rJ, rC, 0)
+	b.Label("sift")
+	b.I(isa.SHLI, rD, rA, 1) // left child index
+	b.R(isa.SLT, rE, rN, rD) // child beyond heap?
+	b.Br(isa.BNE, rE, isa.RegZero, "done")
+	// Load parent and left child.
+	b.I(isa.SHLI, rC, rA, 3)
+	b.R(isa.ADD, rC, rB, rC)
+	b.Ld(rF, rC, 0) // parent val
+	b.I(isa.SHLI, rE, rD, 3)
+	b.R(isa.ADD, rE, rB, rE)
+	b.Ld(rG, rE, 0)          // child val
+	b.R(isa.SLT, rH, rG, rF) // child < parent ?
+	b.Br(isa.BEQ, rH, isa.RegZero, "done")
+	// Swap and descend.
+	b.St(rF, rE, 0)
+	b.St(rG, rC, 0)
+	b.Mov(rA, rD)
+	b.Jmp("sift")
+	b.Label("done")
+	emitPayloadInt(b, rG, 12)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "event")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regA, heapCap, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// astar: path-search flavour — greedy neighbour descent over a weighted
+// grid with random restarts.
+func buildAstar(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const w = 512
+	const cells = w * w
+	b := isa.NewBuilder("astar")
+	b.Li(rO, 1<<30)
+	b.Li(rJ, int64(seed)|1)
+	b.Label("outer")
+	// Random start cell (away from borders).
+	emitXorshift(b, rJ, rK)
+	b.Li(rA, int64(cells-2*w-2))
+	b.R(isa.AND, rA, rJ, rA) // not uniform; adequate
+	b.I(isa.ADDI, rA, rA, int64(w+1))
+	b.Li(rI, 512) // steps per restart
+	b.Label("step")
+	// Load 4 neighbour costs.
+	b.Li(rB, regA)
+	b.I(isa.SHLI, rC, rA, 3)
+	b.R(isa.ADD, rB, rB, rC)
+	b.Ld(rD, rB, 8)           // right
+	b.Ld(rE, rB, -8)          // left
+	b.Ld(rF, rB, int64(w*8))  // down
+	b.Ld(rG, rB, int64(-w*8)) // up
+	// Pick the minimum-cost direction (branch ladder).
+	b.Mov(rH, rD)
+	b.I(isa.ADDI, rL, rA, 1)
+	b.R(isa.SLT, rM, rE, rH)
+	b.Br(isa.BEQ, rM, isa.RegZero, "n1")
+	b.Mov(rH, rE)
+	b.I(isa.ADDI, rL, rA, -1)
+	b.Label("n1")
+	b.R(isa.SLT, rM, rF, rH)
+	b.Br(isa.BEQ, rM, isa.RegZero, "n2")
+	b.Mov(rH, rF)
+	b.I(isa.ADDI, rL, rA, int64(w))
+	b.Label("n2")
+	b.R(isa.SLT, rM, rG, rH)
+	b.Br(isa.BEQ, rM, isa.RegZero, "n3")
+	b.Mov(rH, rG)
+	b.I(isa.ADDI, rL, rA, int64(-w))
+	b.Label("n3")
+	// Mark the visited cell (store) and move.
+	b.I(isa.ADDI, rD, rH, 1)
+	b.St(rD, rB, 0)
+	b.Mov(rA, rL)
+	emitPayloadInt(b, rH, 20)
+	// Keep in bounds: wrap into the interior if needed.
+	b.Li(rM, int64(cells-2*w))
+	b.R(isa.SLT, rN, rA, rM)
+	b.Br(isa.BNE, rN, isa.RegZero, "inb")
+	b.Li(rA, int64(w+1))
+	b.Label("inb")
+	b.Li(rM, int64(w))
+	b.R(isa.SLT, rN, rM, rA)
+	b.Br(isa.BNE, rN, isa.RegZero, "inb2")
+	b.Li(rA, int64(w+1))
+	b.Label("inb2")
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "step")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(mem, regA, cells, func(i int) uint64 { return uint64(rng.Intn(1 << 20)) })
+	}
+}
+
+// xalan: document-tree flavour — DFS over a random tree with an explicit
+// memory stack and type-dispatch branches.
+func buildXalan(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const nodes = 1 << 16 // node: [type, child0, child1, child2] = 32B
+	b := isa.NewBuilder("xalan")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rP, regF)  // stack pointer
+	b.Li(rA, regA)  // current node = root
+	b.Li(rI, 16384) // visits per outer iteration
+	b.Label("visit")
+	b.Ld(rB, rA, 0) // type
+	b.I(isa.ANDI, rC, rB, 3)
+	b.Br(isa.BEQ, rC, isa.RegZero, "leafy")
+	// Push children (up to type&3 of them).
+	b.Ld(rD, rA, 8)
+	b.I(isa.ADDI, rP, rP, -8)
+	b.St(rD, rP, 0)
+	b.I(isa.SLTI, rE, rC, 2)
+	b.Br(isa.BNE, rE, isa.RegZero, "leafy")
+	b.Ld(rD, rA, 16)
+	b.I(isa.ADDI, rP, rP, -8)
+	b.St(rD, rP, 0)
+	b.Label("leafy")
+	b.R(isa.ADD, rG, rG, rB)
+	emitPayloadInt(b, rB, 24)
+	// Pop next node; reset to root if the stack is empty.
+	b.Li(rE, regF)
+	b.Br(isa.BEQ, rP, rE, "reset")
+	b.Ld(rA, rP, 0)
+	b.I(isa.ADDI, rP, rP, 8)
+	b.Jmp("next")
+	b.Label("reset")
+	b.Li(rA, regA)
+	b.Label("next")
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "visit")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(mem *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nodes; i++ {
+			base := uint64(regA) + uint64(i)*32
+			mem.Write(base, uint64(rng.Intn(4)))
+			mem.Write(base+8, uint64(regA)+uint64(rng.Intn(nodes))*32)
+			mem.Write(base+16, uint64(regA)+uint64(rng.Intn(nodes))*32)
+		}
+	}
+}

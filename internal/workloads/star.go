@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+)
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// starSuite reproduces the STARBENCH embedded/multimedia workloads.
+func starSuite() []*Workload {
+	return []*Workload{
+		{Name: "md5", Suite: "star", Build: buildMD5},
+		{Name: "rgbyuv", Suite: "star", Build: buildRGBYUV},
+		{Name: "rotate", Suite: "star", Build: buildRotate},
+		{Name: "kmeans", Suite: "star", Build: buildKmeans},
+	}
+}
+
+// md5: hash-streaming flavour — long serial ALU mixing chains over a
+// sequentially-read message; compute bound, near-perfect branches.
+func buildMD5(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const words = 1 << 16
+	b := isa.NewBuilder("md5")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA)
+	b.Li(rI, words)
+	b.Li(rB, 0x67452301)
+	b.Li(rC, 0x7fcdab89) // state
+	b.Label("blk")
+	b.Ld(rD, rA, 0)
+	// Mixing rounds (serial dependency chain, as in real MD5).
+	for i := 0; i < 4; i++ {
+		b.R(isa.ADD, rB, rB, rD)
+		b.R(isa.XOR, rC, rC, rB)
+		b.I(isa.SHLI, rE, rB, 7)
+		b.I(isa.SHRI, rF, rB, 25)
+		b.R(isa.OR, rB, rE, rF)
+		b.R(isa.ADD, rC, rC, rB)
+		b.I(isa.SHLI, rE, rC, 12)
+		b.I(isa.SHRI, rF, rC, 20)
+		b.R(isa.OR, rC, rE, rF)
+	}
+	b.I(isa.ADDI, rA, rA, 8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "blk")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, words, func(i int) uint64 { return rng.Uint64() })
+	}
+}
+
+// rgbyuv: pixel-conversion flavour — three input streams, three output
+// streams, integer multiply-accumulate per pixel.
+func buildRGBYUV(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const pixels = 1 << 16
+	b := isa.NewBuilder("rgbyuv")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA) // interleaved r,g,b (3 words per pixel)
+	b.Li(rB, regB) // output y,u,v
+	b.Li(rI, pixels)
+	b.Li(rK, 66)
+	b.Li(rL, 129)
+	b.Li(rM, 25)
+	b.Label("px")
+	b.Ld(rC, rA, 0)
+	b.Ld(rD, rA, 8)
+	b.Ld(rE, rA, 16)
+	b.R(isa.MUL, rF, rC, rK)
+	b.R(isa.MUL, rG, rD, rL)
+	b.R(isa.ADD, rF, rF, rG)
+	b.R(isa.MUL, rG, rE, rM)
+	b.R(isa.ADD, rF, rF, rG)
+	b.I(isa.SHRI, rF, rF, 8)
+	b.St(rF, rB, 0)
+	b.R(isa.SUB, rG, rE, rF)
+	b.St(rG, rB, 8)
+	b.R(isa.SUB, rG, rC, rF)
+	b.St(rG, rB, 16)
+	b.I(isa.ADDI, rA, rA, 24)
+	b.I(isa.ADDI, rB, rB, 24)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "px")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, pixels*3, func(i int) uint64 { return uint64(rng.Intn(256)) })
+	}
+}
+
+// rotate: image-rotation flavour — sequential reads, long-stride writes
+// (the column-major store stream defeats L1 but is perfectly strided).
+func buildRotate(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const w = 1024
+	const h = 256
+	b := isa.NewBuilder("rotate")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, 0) // y
+	b.Label("row")
+	b.Li(rB, 0) // x
+	// in row base = regA + y*w*8 ; out col base = regB + y*8
+	b.Li(rC, regA)
+	b.Li(rE, w*8)
+	b.R(isa.MUL, rE, rA, rE)
+	b.R(isa.ADD, rC, rC, rE)
+	b.Li(rD, regB)
+	b.I(isa.SHLI, rE, rA, 3)
+	b.R(isa.ADD, rD, rD, rE)
+	b.Label("col")
+	b.Ld(rF, rC, 0)
+	b.St(rF, rD, 0)
+	b.I(isa.ADDI, rC, rC, 8)
+	b.I(isa.ADDI, rD, rD, int64(h*8)) // out[x*h + y]
+	b.I(isa.ADDI, rB, rB, 1)
+	b.Li(rE, w)
+	b.Br(isa.BNE, rB, rE, "col")
+	b.I(isa.ADDI, rA, rA, 1)
+	b.Li(rE, h)
+	b.Br(isa.BNE, rA, rE, "row")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, w*h, func(i int) uint64 { return uint64(rng.Intn(1 << 24)) })
+	}
+}
+
+// kmeans: clustering flavour — FP distance loops over points with a
+// centroid argmin and assignment stores.
+func buildKmeans(seed int64) (*isa.Program, func(*emu.Memory)) {
+	const points = 1 << 15
+	const k = 8
+	const dims = 4
+	f0, f1, f2, f3 := isa.FReg(0), isa.FReg(1), isa.FReg(2), isa.FReg(3)
+	b := isa.NewBuilder("kmeans")
+	b.Li(rO, 1<<30)
+	b.Label("outer")
+	b.Li(rA, regA) // point base
+	b.Li(rI, points)
+	b.Label("pt")
+	b.Li(rJ, 0)     // best centroid
+	b.Li(rK, 0)     // centroid index
+	b.Li(rL, 1<<40) // best distance (int compare of FP bits is fine for
+	b.Li(rB, regB)  // positive floats)
+	b.Label("cent")
+	// Squared distance over dims.
+	b.Li(rM, 0)
+	b.R(isa.FCVT, f3, rM, 0)
+	for d := int64(0); d < dims; d++ {
+		b.Fld(f0, rA, d*8)
+		b.Fld(f1, rB, d*8)
+		b.R(isa.FSUB, f2, f0, f1)
+		b.R(isa.FMUL, f2, f2, f2)
+		b.R(isa.FADD, f3, f3, f2)
+	}
+	// Compare via FCMP.
+	b.Li(rN, regE)
+	b.Fst(f3, rN, 0)
+	b.Ld(rM, rN, 0) // raw bits of non-negative float order like ints
+	b.R(isa.SLT, rE, rM, rL)
+	b.Br(isa.BEQ, rE, isa.RegZero, "nobest")
+	b.Mov(rL, rM)
+	b.Mov(rJ, rK)
+	b.Label("nobest")
+	b.I(isa.ADDI, rB, rB, dims*8)
+	b.I(isa.ADDI, rK, rK, 1)
+	b.Li(rE, k)
+	b.Br(isa.BNE, rK, rE, "cent")
+	// assignment store
+	b.Li(rC, regC)
+	b.R(isa.ADD, rC, rC, rI) // reuse counter as offset surrogate
+	b.St(rJ, rC, 0)
+	b.I(isa.ADDI, rA, rA, dims*8)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.Br(isa.BNE, rI, isa.RegZero, "pt")
+	b.I(isa.ADDI, rO, rO, -1)
+	b.Br(isa.BNE, rO, isa.RegZero, "outer")
+	b.Halt()
+	return b.Program(), func(m *emu.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		fillWords(m, regA, points*dims, func(i int) uint64 { return floatBits(rng.Float64() * 100) })
+		fillWords(m, regB, k*dims, func(i int) uint64 { return floatBits(rng.Float64() * 100) })
+	}
+}

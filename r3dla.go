@@ -1,0 +1,117 @@
+// Package r3dla is a from-scratch Go reproduction of "R3-DLA (Reduce,
+// Reuse, Recycle): A More Efficient Approach to Decoupled Look-Ahead
+// Architectures" (Kondguli & Huang, HPCA 2019).
+//
+// The package is a facade over the simulator internals. A typical use:
+//
+//	w := r3dla.Workload("mcf")
+//	prog, trainSetup := w.Build(1)                  // training input
+//	prof := r3dla.Profile(prog, trainSetup, 100000) // training run
+//	evalProg, evalSetup := w.Build(2)               // evaluation input
+//	set := r3dla.Skeletons(evalProg, prof)
+//	sys := r3dla.NewSystem(evalProg, evalSetup, set, prof, r3dla.R3Options())
+//	res := sys.Run(200000)
+//	fmt.Println(res.IPC())
+//
+// Experiments reproducing each table/figure of the paper are exposed via
+// Experiments() and the cmd/r3dla command.
+package r3dla
+
+import (
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/exp"
+	"r3dla/internal/isa"
+	"r3dla/internal/pipeline"
+	"r3dla/internal/workloads"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Program is a static program in the simulator's ISA.
+	Program = isa.Program
+	// Builder assembles Programs.
+	Builder = isa.Builder
+	// Memory is the functional data memory.
+	Memory = emu.Memory
+	// SystemOptions selects the DLA configuration.
+	SystemOptions = core.Options
+	// System is a coupled look-ahead + main-thread machine.
+	System = core.System
+	// Results carries a run's metrics.
+	Results = core.Results
+	// WorkloadSpec is one benchmark of the evaluation suite.
+	WorkloadSpec = workloads.Workload
+	// TrainingProfile holds per-PC training statistics.
+	TrainingProfile = core.Profile
+	// SkeletonSet is the generated look-ahead program versions.
+	SkeletonSet = core.Set
+	// CoreConfig sizes a pipeline (Table I by default).
+	CoreConfig = pipeline.Config
+	// ExperimentContext drives the table/figure regeneration.
+	ExperimentContext = exp.Context
+)
+
+// NewBuilder starts assembling a program.
+func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// NewMemory returns an empty data memory.
+func NewMemory() *Memory { return emu.NewMemory() }
+
+// Workload returns a named benchmark (nil if unknown); Workloads lists
+// all 25.
+func Workload(name string) *WorkloadSpec { return workloads.ByName(name) }
+
+// Workloads returns the full evaluation suite.
+func Workloads() []*WorkloadSpec { return workloads.All() }
+
+// Profile performs a training run (Appendix A's profiling pass).
+func Profile(p *Program, setup func(*Memory), budget uint64) *TrainingProfile {
+	return core.Collect(p, setup, budget)
+}
+
+// Skeletons generates the look-ahead skeleton versions for a program.
+func Skeletons(p *Program, prof *TrainingProfile) *SkeletonSet {
+	return core.Generate(p, prof)
+}
+
+// NewSystem builds a DLA system; see core.Options for the configuration
+// space.
+func NewSystem(p *Program, setup func(*Memory), set *SkeletonSet, prof *TrainingProfile, opt SystemOptions) *System {
+	return core.NewSystem(p, setup, set, prof, opt)
+}
+
+// BaselineOptions returns the plain single-core configuration (Table I +
+// BOP) every experiment normalizes against.
+func BaselineOptions() SystemOptions {
+	return SystemOptions{Disable: true, WithBOP: true}
+}
+
+// DLAOptions returns the baseline decoupled look-ahead configuration.
+func DLAOptions() SystemOptions { return core.DLAOptions() }
+
+// R3Options returns the full R3-DLA configuration (T1 + value reuse +
+// fetch buffer + recycling).
+func R3Options() SystemOptions { return core.R3Options() }
+
+// DefaultCoreConfig returns the Table I processing node.
+func DefaultCoreConfig() CoreConfig { return pipeline.DefaultConfig() }
+
+// NewExperiments returns a context for regenerating the paper's tables
+// and figures (budget = committed instructions per simulation; 0 picks
+// the default).
+func NewExperiments(budget uint64) *ExperimentContext { return exp.NewContext(budget) }
+
+// RunExperiment regenerates one artifact ("fig9a", "tab2", ...; see
+// ExperimentIDs) and returns its text rendering.
+func RunExperiment(ctx *ExperimentContext, id string) (string, bool) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return "", false
+	}
+	return e.Run(ctx), true
+}
+
+// ExperimentIDs lists the regenerable artifacts.
+func ExperimentIDs() []string { return exp.IDs() }
