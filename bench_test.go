@@ -6,6 +6,8 @@
 package r3dla_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"r3dla"
@@ -24,11 +26,42 @@ func runExp(b *testing.B, id string) {
 		if !ok {
 			b.Fatalf("unknown experiment %s", id)
 		}
-		if out := e.Run(ctx); len(out) == 0 {
+		if out := e.Run(ctx).String(); len(out) == 0 {
 			b.Fatal("empty experiment output")
 		}
 	}
 }
+
+// benchAll runs the full registry (the `-exp all` path) through the
+// engine with the given worker-pool width; the Serial/Parallel pair
+// measures the engine's wall-time win.
+func benchAll(b *testing.B, jobs int) {
+	b.Helper()
+	if jobs != 1 && runtime.GOMAXPROCS(0) == 1 {
+		b.Log("GOMAXPROCS=1: the parallel engine degenerates to serial on this machine")
+	}
+	ids := exp.IDs()
+	for i := 0; i < b.N; i++ {
+		ctx := exp.NewContext(benchBudget)
+		ctx.Jobs = jobs
+		results, err := exp.Run(context.Background(), ctx, ids, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.ID, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkExpAllSerial is `r3dla -exp all -jobs 1` at a CI budget.
+func BenchmarkExpAllSerial(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkExpAllParallel is `r3dla -exp all` on the full worker pool;
+// compare against BenchmarkExpAllSerial for the engine speedup.
+func BenchmarkExpAllParallel(b *testing.B) { benchAll(b, 0) }
 
 // One bench per paper artifact.
 func BenchmarkTable1(b *testing.B) { runExp(b, "tab1") }

@@ -3,15 +3,28 @@
 //
 // Usage:
 //
-//	r3dla -exp fig9a                # one experiment
-//	r3dla -exp all -budget 300000   # everything, bigger runs
-//	r3dla -list                     # what's available
+//	r3dla -exp fig9a                     # one experiment
+//	r3dla -exp all -budget 300000        # everything, bigger runs
+//	r3dla -exp all -jobs 8               # parallel, identical output
+//	r3dla -exp all -format json,csv -out results
+//	r3dla -list                          # what's available
+//
+// Experiments run on a bounded worker pool (-jobs, default GOMAXPROCS);
+// per-workload preparation and standard-configuration runs are shared
+// across experiments, and the output is byte-identical for every -jobs
+// value. Progress is reported on stderr as workloads are prepared and
+// experiments complete; -v adds per-workload detail lines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"r3dla/internal/exp"
@@ -23,6 +36,10 @@ func main() {
 		budget  = flag.Uint64("budget", 150_000, "committed instructions per simulation")
 		list    = flag.Bool("list", false, "list available experiments")
 		verbose = flag.Bool("v", false, "per-workload detail")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "comma-separated output formats: text, json, csv")
+		outDir  = flag.String("out", "results", "directory for json/csv output files")
+		quiet   = flag.Bool("q", false, "suppress progress reporting on stderr")
 	)
 	flag.Parse()
 
@@ -35,26 +52,104 @@ func main() {
 		return
 	}
 
-	ctx := exp.NewContext(*budget)
-	ctx.Verbose = *verbose
-
-	run := func(e exp.Experiment) {
-		start := time.Now()
-		out := e.Run(ctx)
-		fmt.Println(out)
-		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
-
-	if *expID == "all" {
-		for _, e := range exp.Registry {
-			run(e)
+	wantText, wantJSON, wantCSV := false, false, false
+	for _, f := range strings.Split(*format, ",") {
+		switch strings.TrimSpace(f) {
+		case "text":
+			wantText = true
+		case "json":
+			wantJSON = true
+		case "csv":
+			wantCSV = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json, csv)\n", f)
+			os.Exit(2)
 		}
-		return
 	}
-	e, ok := exp.ByID(*expID)
-	if !ok {
+	if wantJSON || wantCSV {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = nil
+		for _, e := range exp.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else if _, ok := exp.ByID(*expID); !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n%s", *expID, exp.List())
 		os.Exit(2)
 	}
-	run(e)
+
+	c := exp.NewContext(*budget)
+	c.Verbose = *verbose
+	c.Jobs = *jobs
+	c.LogW = os.Stderr
+	if !*quiet {
+		c.Progress = func(ev exp.Event) {
+			switch ev.Stage {
+			case "prep":
+				fmt.Fprintf(os.Stderr, "  [prep] %-9s ready in %v\n", ev.Workload, ev.Elapsed.Round(time.Millisecond))
+			case "run":
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "  [run]  %-9s %-14s %v\n", ev.Workload, ev.Key, ev.Elapsed.Round(time.Millisecond))
+				}
+			case "exp":
+				fmt.Fprintf(os.Stderr, "[done] %s (%v)\n", ev.Exp, ev.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	failed := false
+	_, err := exp.Run(ctx, c, ids, func(r exp.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla: %s: %v\n", r.ID, r.Err)
+			failed = true
+			return
+		}
+		// Reports go to stdout; timing goes to stderr with the rest of the
+		// progress reporting, so stdout is byte-identical for any -jobs.
+		if wantText {
+			fmt.Println(r.Report.String())
+		}
+		if wantJSON {
+			if werr := writeFile(filepath.Join(*outDir, r.ID+".json"), r.Report.WriteJSON); werr != nil {
+				fmt.Fprintf(os.Stderr, "r3dla: %v\n", werr)
+				failed = true
+			}
+		}
+		if wantCSV {
+			if werr := writeFile(filepath.Join(*outDir, r.ID+".csv"), r.Report.WriteCSV); werr != nil {
+				fmt.Fprintf(os.Stderr, "r3dla: %v\n", werr)
+				failed = true
+			}
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

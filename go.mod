@@ -1,0 +1,3 @@
+module r3dla
+
+go 1.24

@@ -13,6 +13,13 @@
 //	recycle.go    – loop detection, trial controller, LCT
 //	feeder.go     – the look-ahead skeleton walker
 //	system.go     – the two-core DLA system driver
+//
+// Concurrency: a System (and everything it owns — cores, caches, queues)
+// is single-goroutine, but the artifacts of preparation (Profile, Set,
+// Skeleton, and the isa.Program they annotate) are immutable once built,
+// so one prepared workload may back any number of Systems running in
+// parallel goroutines. The experiment harness relies on this to share
+// preparation across concurrent runs.
 package core
 
 import (

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"r3dla/internal/branch"
 	"r3dla/internal/emu"
 	"r3dla/internal/isa"
@@ -253,8 +255,16 @@ func NewSystem(prog *isa.Program, setup func(*emu.Memory), set *Set, prof *Profi
 		}
 		if opt.StaticLCT != nil {
 			s.rc.Static = true
-			for loop, v := range opt.StaticLCT {
-				s.rc.Preload(loop, v)
+			// Preload in sorted order: LCT insertion stamps LRU state, so
+			// map-iteration order would make later evictions (and thus the
+			// whole run) nondeterministic.
+			loops := make([]int, 0, len(opt.StaticLCT))
+			for loop := range opt.StaticLCT {
+				loops = append(loops, loop)
+			}
+			sort.Ints(loops)
+			for _, loop := range loops {
+				s.rc.Preload(loop, opt.StaticLCT[loop])
 			}
 		}
 	}

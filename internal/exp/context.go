@@ -1,11 +1,21 @@
 // Package exp is the experiment harness: one driver per table and figure
-// of the paper's evaluation (see DESIGN.md §4 for the index). Every
-// driver renders its result as text mirroring the original artifact's
-// rows/series.
+// of the paper's evaluation (see DESIGN.md §4 for the index). Drivers
+// produce structured Reports (tables of rows) that render as text
+// mirroring the original artifact, and serialize to JSON/CSV. A Context
+// dispatches per-workload preparation and simulation runs to a bounded
+// worker pool with concurrency-safe memoization, so experiments sharing
+// a prepared workload or a standard configuration never repeat work; Run
+// executes a set of experiments concurrently with deterministic output.
 package exp
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"r3dla/internal/branch"
 	"r3dla/internal/core"
@@ -23,16 +33,85 @@ const (
 	EvalSeed  = 2
 )
 
-// Context carries budgets and memoizes per-workload preparation
-// (profiling + skeleton generation) across experiments.
+// Event is one progress notification from the engine: a workload was
+// prepared, a simulation finished, or an experiment completed.
+type Event struct {
+	Stage    string // "prep", "run", or "exp"
+	Exp      string // experiment id ("exp" stage only)
+	Workload string // workload name ("prep"/"run" stages)
+	Key      string // configuration key ("run" stage only)
+	Elapsed  time.Duration
+}
+
+// Context carries budgets, memoizes per-workload preparation (profiling +
+// skeleton generation) and standard-configuration runs across
+// experiments, and owns the bounded worker pool every simulation is
+// dispatched to. A Context is safe for concurrent use: memoization is
+// singleflight-style (two experiments asking for the same prepared
+// workload block on one preparation instead of repeating it), and all
+// results are deterministic regardless of scheduling order.
 type Context struct {
 	Budget      uint64 // evaluation budget (committed MT instructions)
 	TrainBudget uint64
 	Verbose     bool
 
-	prepared map[string]*Prepared
-	runs     map[string]*core.Results
+	// Jobs bounds how many simulations run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). Set before first use.
+	Jobs int
+
+	// Progress, when non-nil, receives an Event after every completed
+	// preparation and memoized run. It may be called from multiple
+	// goroutines and must be safe for that.
+	Progress func(Event)
+
+	// LogW receives Verbose per-workload detail lines (default
+	// os.Stdout). Writes are serialized by the Context.
+	LogW io.Writer
+
+	ctx context.Context // cancellation; nil means background
+
+	state *sharedState // pool + memoization, shared with WithCancel copies
 }
+
+// sharedState is the concurrency machinery a Context and its WithCancel
+// copies share: the bounded worker pool and the memoization tables.
+type sharedState struct {
+	logMu sync.Mutex
+
+	semOnce sync.Once
+	sem     chan struct{}
+
+	mu        sync.Mutex
+	prepared  map[string]*prepEntry
+	runs      map[string]*runEntry
+	prepCount map[string]int // times preparation actually executed, per workload
+}
+
+// entry is a panic-safe singleflight cell: the first caller computes
+// while later callers for the same key block on the mutex. Unlike
+// sync.Once, a panicking computation (cancellation aborts runs by
+// panicking out of the pool) leaves the entry unfilled, so reusing the
+// Context after a canceled run recomputes instead of returning nil.
+type entry[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// do returns the memoized value, computing it via f if needed. f runs at
+// most once concurrently; on panic the entry stays empty for retry.
+func (e *entry[T]) do(f func() T) T {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.val = f()
+		e.done = true
+	}
+	return e.val
+}
+
+type prepEntry = entry[*Prepared]
+type runEntry = entry[*core.Results]
 
 // NewContext returns a Context with the given evaluation budget (0 means
 // the default 150k instructions).
@@ -43,26 +122,139 @@ func NewContext(budget uint64) *Context {
 	return &Context{
 		Budget:      budget,
 		TrainBudget: budget / 2,
-		prepared:    make(map[string]*Prepared),
-		runs:        make(map[string]*core.Results),
+		state: &sharedState{
+			prepared:  make(map[string]*prepEntry),
+			runs:      make(map[string]*runEntry),
+			prepCount: make(map[string]int),
+		},
+	}
+}
+
+// WithCancel returns a shallow copy of c whose operations abort once ctx
+// is canceled. The worker pool and memoization state stay shared with c.
+func (c *Context) WithCancel(ctx context.Context) *Context {
+	cc := *c
+	cc.ctx = ctx
+	return &cc
+}
+
+func (c *Context) initSem() {
+	n := c.Jobs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.state.sem = make(chan struct{}, n)
+}
+
+// canceled is the sentinel the pool panics with when the Context's
+// cancellation fires; Run recovers it into the experiment's error.
+type canceled struct{ err error }
+
+func (c *Context) checkCanceled() {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			panic(canceled{err})
+		}
+	}
+}
+
+// Do runs f on the worker pool: it blocks for a slot (respecting Jobs),
+// runs f, and releases the slot. Prep, RunDLA and RunCached acquire a
+// slot themselves; Do is for compute-heavy leaf work that bypasses them
+// (direct BaselineMetricsOn / limit-study / rival runs). f must not call
+// Do, Prep, RunDLA or RunCached — nested acquisition would deadlock a
+// one-slot pool.
+func (c *Context) Do(f func()) {
+	c.checkCanceled()
+	c.state.semOnce.Do(c.initSem)
+	c.state.sem <- struct{}{}
+	defer func() { <-c.state.sem }()
+	c.checkCanceled()
+	f()
+}
+
+// ParallelEach runs f(0..n-1) concurrently and returns when all are
+// done. It spawns one goroutine per index; actual compute stays bounded
+// because every heavy operation inside f (Prep, RunDLA, RunCached, Do)
+// acquires a worker-pool slot. Callers get deterministic results by
+// writing to index i of a preallocated slice. A panic in any f
+// (including cancellation) is re-raised in the caller.
+func (c *Context) ParallelEach(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	var pval any
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			c.checkCanceled()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}
+
+// Logf writes one Verbose detail line (serialized across goroutines).
+func (c *Context) Logf(format string, args ...any) {
+	if !c.Verbose {
+		return
+	}
+	w := c.LogW
+	if w == nil {
+		w = os.Stdout
+	}
+	c.state.logMu.Lock()
+	fmt.Fprintf(w, format, args...)
+	c.state.logMu.Unlock()
+}
+
+func (c *Context) emit(ev Event) {
+	if c.Progress != nil {
+		c.Progress(ev)
 	}
 }
 
 // RunCached memoizes a DLA run under an explicit configuration key, so
 // experiments sharing the standard configurations (BL/DLA/R3…) reuse each
-// other's runs.
+// other's runs. Concurrent callers with the same key block on a single
+// simulation (singleflight).
 func (c *Context) RunCached(key string, p *Prepared, opt core.Options) *core.Results {
 	k := p.W.Name + "/" + key
-	if r, ok := c.runs[k]; ok {
-		return r
+	c.state.mu.Lock()
+	e, ok := c.state.runs[k]
+	if !ok {
+		e = &runEntry{}
+		c.state.runs[k] = e
 	}
-	r := c.RunDLA(p, opt)
-	c.runs[k] = r
+	c.state.mu.Unlock()
+	r := e.do(func() *core.Results {
+		start := time.Now()
+		res := c.RunDLA(p, opt)
+		c.emit(Event{Stage: "run", Workload: p.W.Name, Key: key, Elapsed: time.Since(start)})
+		return res
+	})
+	c.checkCanceled()
 	return r
 }
 
 // Prepared is a workload ready to run: evaluation program + profile and
-// skeletons from the training input.
+// skeletons from the training input. All fields are read-only after
+// preparation, so one Prepared is safely shared by concurrent runs.
 type Prepared struct {
 	W     *workloads.Workload
 	Prog  *isa.Program
@@ -71,11 +263,32 @@ type Prepared struct {
 	Set   *core.Set
 }
 
-// Prep profiles and generates skeletons for one workload (memoized).
+// Prep profiles and generates skeletons for one workload. Preparation is
+// memoized with singleflight semantics: under concurrency it executes
+// exactly once per workload, and every caller gets the same *Prepared.
 func (c *Context) Prep(name string) *Prepared {
-	if p, ok := c.prepared[name]; ok {
-		return p
+	c.state.mu.Lock()
+	e, ok := c.state.prepared[name]
+	if !ok {
+		e = &prepEntry{}
+		c.state.prepared[name] = e
 	}
+	c.state.mu.Unlock()
+	p := e.do(func() *Prepared {
+		start := time.Now()
+		var val *Prepared
+		c.Do(func() { val = c.prep(name) })
+		c.state.mu.Lock()
+		c.state.prepCount[name]++
+		c.state.mu.Unlock()
+		c.emit(Event{Stage: "prep", Workload: name, Elapsed: time.Since(start)})
+		return val
+	})
+	c.checkCanceled()
+	return p
+}
+
+func (c *Context) prep(name string) *Prepared {
 	w := workloads.ByName(name)
 	if w == nil {
 		panic(fmt.Sprintf("exp: unknown workload %q", name))
@@ -84,14 +297,22 @@ func (c *Context) Prep(name string) *Prepared {
 	prof := core.Collect(trainProg, trainSetup, c.TrainBudget)
 	evalProg, evalSetup := w.Build(EvalSeed)
 	set := core.Generate(evalProg, prof)
-	p := &Prepared{W: w, Prog: evalProg, Setup: evalSetup, Prof: prof, Set: set}
-	c.prepared[name] = p
-	return p
+	return &Prepared{W: w, Prog: evalProg, Setup: evalSetup, Prof: prof, Set: set}
 }
 
-// RunDLA runs one DLA/R3 configuration on a prepared workload. The
-// recycle trial window scales with the budget (each version needs to run
-// well past the BOQ depth, but six trials must not eat a short run).
+// PrepCount reports how many times preparation actually executed for a
+// workload (test instrumentation: it must be at most 1 regardless of
+// concurrency).
+func (c *Context) PrepCount(name string) int {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.prepCount[name]
+}
+
+// RunDLA runs one DLA/R3 configuration on a prepared workload, on the
+// worker pool. The recycle trial window scales with the budget (each
+// version needs to run well past the BOQ depth, but six trials must not
+// eat a short run).
 func (c *Context) RunDLA(p *Prepared, opt core.Options) *core.Results {
 	if opt.TrialInsts == 0 {
 		t := c.Budget / 20
@@ -103,8 +324,12 @@ func (c *Context) RunDLA(p *Prepared, opt core.Options) *core.Results {
 		}
 		opt.TrialInsts = t
 	}
-	sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, opt)
-	return sys.Run(c.Budget)
+	var r *core.Results
+	c.Do(func() {
+		sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, opt)
+		r = sys.Run(c.Budget)
+	})
+	return r
 }
 
 // RunBaseline runs the plain single-core baseline (optionally with BOP).

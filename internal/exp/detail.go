@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"r3dla/internal/core"
 	"r3dla/internal/emu"
@@ -12,8 +11,7 @@ import (
 
 // Table3 regenerates Table III: L1 MPKI split between strided and
 // non-strided accesses under BL, BL+stride, DLA, and DLA+T1.
-func Table3(c *Context) string {
-	type split struct{ strided, others []float64 }
+func Table3(c *Context) *Report {
 	cfgs := []struct {
 		name string
 		opt  core.Options
@@ -23,23 +21,35 @@ func Table3(c *Context) string {
 		{"DLA", core.DLAOptions()},
 		{"DLA+T1", core.Options{WithBOP: true, T1: true}},
 	}
-	results := make(map[string]*split)
-	for _, cf := range cfgs {
-		results[cf.name] = &split{}
-	}
 
-	for _, name := range SuiteNames("all") {
-		p := c.Prep(name)
-		// Strided classification from the training profile.
+	names := SuiteNames("all")
+	type mpki struct{ strided, others float64 }
+	// Strided classification from the training profile, once per workload.
+	classify := make([]map[int]bool, len(names))
+	c.ParallelEach(len(names), func(wi int) {
+		p := c.Prep(names[wi])
 		stridedPC := make(map[int]bool)
 		for pc := range p.Prog.Insts {
 			if p.Prog.Insts[pc].Op.IsLoad() && p.Prof.PCs[pc].Strided() {
 				stridedPC[pc] = true
 			}
 		}
-		for _, cf := range cfgs {
+		classify[wi] = stridedPC
+	})
+	// per[workload][config]; the instrumented runs are not memoizable (they
+	// hook the MT load path), so each (workload, config) pair is its own
+	// pool task.
+	per := make([][]mpki, len(names))
+	for i := range per {
+		per[i] = make([]mpki, len(cfgs))
+	}
+	c.ParallelEach(len(names)*len(cfgs), func(k int) {
+		wi, ci := k/len(cfgs), k%len(cfgs)
+		p := c.Prep(names[wi])
+		stridedPC := classify[wi]
+		c.Do(func() {
 			var sMiss, oMiss uint64
-			sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, cf.opt)
+			sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, cfgs[ci].opt)
 			prev := sys.MTLoadHook()
 			sys.SetMTLoadHook(func(d *emu.DynInst, level int, done, now uint64) {
 				prev(d, level, done, now)
@@ -52,31 +62,34 @@ func Table3(c *Context) string {
 				}
 			})
 			r := sys.Run(c.Budget)
-			k := float64(r.MT.Committed) / 1000
-			results[cf.name].strided = append(results[cf.name].strided, float64(sMiss)/k)
-			results[cf.name].others = append(results[cf.name].others, float64(oMiss)/k)
-		}
-	}
+			kinsts := float64(r.MT.Committed) / 1000
+			per[wi][ci] = mpki{float64(sMiss) / kinsts, float64(oMiss) / kinsts}
+		})
+	})
 
 	t := &stats.Table{
 		Title:  "Table III: L1 MPKI, strided vs non-strided accesses",
 		Header: []string{"config", "strided mean", "strided median", "others mean", "others median"},
 	}
-	for _, cf := range cfgs {
-		r := results[cf.name]
+	for ci, cf := range cfgs {
+		var strided, others []float64
+		for wi := range names {
+			strided = append(strided, per[wi][ci].strided)
+			others = append(others, per[wi][ci].others)
+		}
 		t.AddRow(cf.name,
-			fmt.Sprintf("%.1f", stats.Mean(r.strided)),
-			fmt.Sprintf("%.1f", stats.Median(r.strided)),
-			fmt.Sprintf("%.1f", stats.Mean(r.others)),
-			fmt.Sprintf("%.1f", stats.Median(r.others)))
+			fmt.Sprintf("%.1f", stats.Mean(strided)),
+			fmt.Sprintf("%.1f", stats.Median(strided)),
+			fmt.Sprintf("%.1f", stats.Mean(others)),
+			fmt.Sprintf("%.1f", stats.Median(others)))
 	}
-	return t.String()
+	return NewReport(t)
 }
 
 // Fig12 regenerates Fig. 12: speedup and memory traffic of DLA+Stride vs
 // DLA+T1, normalized to plain DLA.
-func Fig12(c *Context) string {
-	var b strings.Builder
+func Fig12(c *Context) *Report {
+	rep := NewReport()
 	for _, metric := range []string{"speedup", "traffic"} {
 		t := &stats.Table{
 			Title:  fmt.Sprintf("Fig. 12 (%s normalized to DLA)", metric),
@@ -99,26 +112,29 @@ func Fig12(c *Context) string {
 			})
 			summarizeSuites(t, cf.name, vals)
 		}
-		b.WriteString(t.String())
-		b.WriteByte('\n')
+		rep.Add(t)
 	}
-	return b.String()
+	return rep
 }
 
 // Fig13a regenerates Fig. 13-a: the fetch buffer's gain over the baseline
 // vs over DLA.
-func Fig13a(c *Context) string {
+func Fig13a(c *Context) *Report {
 	t := &stats.Table{
 		Title:  "Fig. 13-a: 32-entry fetch buffer speedup",
 		Header: append([]string{"config"}, suiteOrder...),
 	}
 	// Over baseline: plain core, fetch buffer 8 vs 32 (own predictor).
 	vals := perSuite(c, func(p *Prepared) float64 {
-		cfg := pipeline.DefaultConfig()
-		base, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
-		cfg.FetchBufSize = 32
-		fb, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
-		return fb.IPC() / base.IPC()
+		var ipc float64
+		c.Do(func() {
+			cfg := pipeline.DefaultConfig()
+			base, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
+			cfg.FetchBufSize = 32
+			fb, _ := BaselineMetricsOn(p, cfg, c.Budget, true)
+			ipc = fb.IPC() / base.IPC()
+		})
+		return ipc
 	})
 	summarizeSuites(t, "FB over BL", vals)
 	// Over DLA: BOQ-driven.
@@ -128,12 +144,12 @@ func Fig13a(c *Context) string {
 		return fb.IPC() / dla.IPC()
 	})
 	summarizeSuites(t, "FB over DLA", vals)
-	return t.String()
+	return NewReport(t)
 }
 
 // Fig13b regenerates Fig. 13-b: dynamic (online) vs static (training-
 // input) recycle tuning, normalized to plain DLA.
-func Fig13b(c *Context) string {
+func Fig13b(c *Context) *Report {
 	t := &stats.Table{
 		Title:  "Fig. 13-b: skeleton recycling, dynamic vs static tuning (speedup over DLA)",
 		Header: append([]string{"mode"}, suiteOrder...),
@@ -147,22 +163,25 @@ func Fig13b(c *Context) string {
 	vals = perSuite(c, func(p *Prepared) float64 {
 		dla := c.RunCached("DLA", p, core.DLAOptions())
 		// Train the LCT on the training input, then run statically.
-		trainProg, trainSetup := p.W.Build(TrainSeed)
-		trainSet := core.Generate(trainProg, p.Prof)
-		trainSys := core.NewSystem(trainProg, trainSetup, trainSet, p.Prof,
-			core.Options{WithBOP: true, Recycle: true})
-		trainSys.Run(c.Budget / 2)
-		lct := trainSys.LCTSnapshot()
+		var lct map[int]int
+		c.Do(func() {
+			trainProg, trainSetup := p.W.Build(TrainSeed)
+			trainSet := core.Generate(trainProg, p.Prof)
+			trainSys := core.NewSystem(trainProg, trainSetup, trainSet, p.Prof,
+				core.Options{WithBOP: true, Recycle: true})
+			trainSys.Run(c.Budget / 2)
+			lct = trainSys.LCTSnapshot()
+		})
 		st := c.RunDLA(p, core.Options{WithBOP: true, StaticLCT: lct})
 		return st.IPC() / dla.IPC()
 	})
 	summarizeSuites(t, "Static", vals)
-	return t.String()
+	return NewReport(t)
 }
 
 // Fig13c regenerates Fig. 13-c: each optimization applied first (over
 // baseline DLA) vs last (completing R3-DLA) — the synergy result.
-func Fig13c(c *Context) string {
+func Fig13c(c *Context) *Report {
 	techs := []struct {
 		key      string
 		alone    core.Options // DLA + only this technique
@@ -183,19 +202,25 @@ func Fig13c(c *Context) string {
 		Header: []string{"technique", "first (DLA+X / DLA)", "last (R3 / R3-X)"},
 	}
 	for _, tech := range techs {
-		var first, last []float64
-		for _, name := range SuiteNames("all") {
-			p := c.Prep(name)
+		type pair struct{ first, last float64 }
+		names := SuiteNames("all")
+		per := make([]pair, len(names))
+		c.ParallelEach(len(names), func(i int) {
+			p := c.Prep(names[i])
 			dla := c.RunCached("DLA", p, core.DLAOptions())
 			r3 := c.RunCached("R3-DLA", p, core.R3Options())
 			alone := c.RunCached("alone-"+tech.key, p, tech.alone)
 			minus := c.RunCached("minus-"+tech.key, p, tech.disabled)
-			first = append(first, alone.IPC()/dla.IPC())
-			last = append(last, r3.IPC()/minus.IPC())
+			per[i] = pair{alone.IPC() / dla.IPC(), r3.IPC() / minus.IPC()}
+		})
+		var first, last []float64
+		for _, pr := range per {
+			first = append(first, pr.first)
+			last = append(last, pr.last)
 		}
 		t.AddRow(tech.key,
 			fmt.Sprintf("%.3f", stats.Geomean(first)),
 			fmt.Sprintf("%.3f", stats.Geomean(last)))
 	}
-	return t.String()
+	return NewReport(t)
 }

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of running one experiment through Run.
+type Result struct {
+	ID      string
+	Title   string
+	Report  *Report // nil when Err is set
+	Err     error
+	Elapsed time.Duration
+}
+
+// Run executes the named experiments on c's worker pool and returns their
+// results in the order of ids. Experiments run concurrently, sharing
+// prepared workloads and memoized configuration runs through c, but all
+// compute is dispatched through the bounded pool so total parallelism
+// respects c.Jobs; results are deterministic regardless of scheduling.
+//
+// onResult, when non-nil, is invoked with each result in id order as soon
+// as that ordered prefix completes (a live consumer that still sees
+// deterministic output). A panicking experiment is reported as that
+// result's Err; cancellation of ctx aborts outstanding work and yields
+// ctx's error for every unfinished experiment.
+func Run(ctx context.Context, c *Context, ids []string, onResult func(Result)) ([]Result, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	cc := c
+	if ctx != nil {
+		cc = c.WithCancel(ctx)
+	}
+
+	results := make([]Result, len(exps))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := make([]bool, len(exps))
+	next := 0
+	finish := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = r
+		done[i] = true
+		for next < len(exps) && done[next] {
+			if onResult != nil {
+				onResult(results[next])
+			}
+			next++
+		}
+	}
+
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			start := time.Now()
+			r := Result{ID: e.ID, Title: e.Title}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						r.Report = nil
+						if cp, ok := p.(canceled); ok {
+							r.Err = cp.err
+						} else {
+							r.Err = fmt.Errorf("exp %s panicked: %v", e.ID, p)
+						}
+					}
+				}()
+				cc.checkCanceled()
+				rep := e.Run(cc)
+				rep.ID, rep.Title = e.ID, e.Title
+				r.Report = rep
+			}()
+			r.Elapsed = time.Since(start)
+			cc.emit(Event{Stage: "exp", Exp: e.ID, Elapsed: r.Elapsed})
+			finish(i, r)
+		}(i, e)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.Err != nil && ctx != nil && ctx.Err() != nil {
+			return results, ctx.Err()
+		}
+	}
+	return results, nil
+}

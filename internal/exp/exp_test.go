@@ -56,7 +56,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable1Renders(t *testing.T) {
-	out := Table1(testCtx())
+	out := Table1(testCtx()).String()
 	for _, want := range []string{"192 ROB", "BOQ 512", "TAGE"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Table1 output missing %q:\n%s", want, out)
@@ -66,18 +66,18 @@ func TestTable1Renders(t *testing.T) {
 
 func TestFig5AndFig14Render(t *testing.T) {
 	c := testCtx()
-	out := Fig5(c)
+	out := Fig5(c).String()
 	if !strings.Contains(out, "P(queue length)") || !strings.Contains(out, "expected fetch bubbles") {
 		t.Fatalf("Fig5 incomplete:\n%s", out)
 	}
-	out14 := Fig14(c)
+	out14 := Fig14(c).String()
 	if !strings.Contains(out14, "theoretical") || !strings.Contains(out14, "simulated") {
 		t.Fatalf("Fig14 incomplete:\n%s", out14)
 	}
 }
 
 func TestFig1Renders(t *testing.T) {
-	out := Fig1(testCtx())
+	out := Fig1(testCtx()).String()
 	if !strings.Contains(out, "ideal:2048") || !strings.Contains(out, "gmean") {
 		t.Fatalf("Fig1 incomplete:\n%s", out)
 	}
@@ -89,7 +89,7 @@ func TestSmallFig9a(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := Fig9a(testCtx())
+	out := Fig9a(testCtx()).String()
 	if !strings.Contains(out, "R3-DLA") || !strings.Contains(out, "spec") {
 		t.Fatalf("Fig9a incomplete:\n%s", out)
 	}

@@ -44,8 +44,9 @@ func runSMTPair(p *Prepared, budget uint64) float64 {
 
 // Fig11 regenerates Fig. 11: throughput of the wide core (FC), DLA and
 // R3-DLA on two half-cores, and two-copy SMT, all normalized to a single
-// half-core (HC).
-func Fig11(c *Context) string {
+// half-core (HC). Workloads are evaluated concurrently; each workload's
+// five design points are sequential within one pool task.
+func Fig11(c *Context) *Report {
 	half := pipeline.HalfConfig()
 	wide := pipeline.WideConfig()
 
@@ -53,13 +54,20 @@ func Fig11(c *Context) string {
 		Title:  "Fig. 11: SMT-core throughput normalized to a half-core",
 		Header: []string{"bench", "FC", "DLA", "R3-DLA", "SMT"},
 	}
-	var fcs, dlas, r3s, smts []float64
-	for _, w := range workloads.All() {
-		p := c.Prep(w.Name)
+	all := workloads.All()
+	type row struct{ fc, dla, r3, smt float64 }
+	rows := make([]row, len(all))
+	c.ParallelEach(len(all), func(i int) {
+		p := c.Prep(all[i].Name)
 		budget := c.Budget / 2
 
-		hc, _ := BaselineMetricsOn(p, half, budget, true)
-		fc, _ := BaselineMetricsOn(p, wide, budget, true)
+		var hcIPC, fcIPC, smt float64
+		c.Do(func() {
+			hc, _ := BaselineMetricsOn(p, half, budget, true)
+			fc, _ := BaselineMetricsOn(p, wide, budget, true)
+			hcIPC, fcIPC = hc.IPC(), fc.IPC()
+			smt = runSMTPair(p, budget)
+		})
 
 		dlaOpt := core.DLAOptions()
 		dlaOpt.CoreCfg = &half
@@ -69,19 +77,20 @@ func Fig11(c *Context) string {
 		r3Opt.CoreCfg = &half
 		r3 := c.RunDLA(p, r3Opt)
 
-		smt := runSMTPair(p, budget)
-
-		base := hc.IPC()
-		fcN, dlaN, r3N, smtN := fc.IPC()/base, dla.IPC()/base, r3.IPC()/base, smt/base
-		fcs = append(fcs, fcN)
-		dlas = append(dlas, dlaN)
-		r3s = append(r3s, r3N)
-		smts = append(smts, smtN)
-		t.AddRow(w.Name, f2(fcN), f2(dlaN), f2(r3N), f2(smtN))
+		rows[i] = row{fcIPC / hcIPC, dla.IPC() / hcIPC, r3.IPC() / hcIPC, smt / hcIPC}
+	})
+	var fcs, dlas, r3s, smts []float64
+	for i, w := range all {
+		r := rows[i]
+		fcs = append(fcs, r.fc)
+		dlas = append(dlas, r.dla)
+		r3s = append(r3s, r.r3)
+		smts = append(smts, r.smt)
+		t.AddRow(w.Name, f2(r.fc), f2(r.dla), f2(r.r3), f2(r.smt))
 	}
 	t.AddRow("gmean", f2(stats.Geomean(fcs)), f2(stats.Geomean(dlas)),
 		f2(stats.Geomean(r3s)), f2(stats.Geomean(smts)))
-	return t.String()
+	return NewReport(t)
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"r3dla/internal/core"
 	"r3dla/internal/energy"
@@ -13,20 +12,52 @@ import (
 // suiteOrder is the presentation order of Fig. 9/10/12/13.
 var suiteOrder = []string{"spec", "crono", "star", "npb", "all"}
 
-// perSuite runs f over every workload and aggregates per suite (geomean +
-// range), returning rows keyed by suiteOrder.
+// perSuite runs f over every workload (concurrently, on the worker pool)
+// and aggregates per suite (geomean + range). Aggregation happens in
+// workload order after all runs finish, so the rows are deterministic
+// regardless of scheduling.
 func perSuite(c *Context, f func(p *Prepared) float64) map[string][]float64 {
+	names := SuiteNames("all")
+	res := make([]float64, len(names))
+	preps := make([]*Prepared, len(names))
+	c.ParallelEach(len(names), func(i int) {
+		p := c.Prep(names[i])
+		preps[i] = p
+		res[i] = f(p)
+	})
 	vals := make(map[string][]float64)
-	for _, name := range SuiteNames("all") {
-		p := c.Prep(name)
-		v := f(p)
-		vals[p.W.Suite] = append(vals[p.W.Suite], v)
+	for i, name := range names {
+		v := res[i]
+		vals[preps[i].W.Suite] = append(vals[preps[i].W.Suite], v)
 		vals["all"] = append(vals["all"], v)
-		if c.Verbose {
-			fmt.Printf("  %-9s %-6s %.3f\n", name, p.W.Suite, v)
-		}
+		c.Logf("  %-9s %-6s %.3f\n", name, preps[i].W.Suite, v)
 	}
 	return vals
+}
+
+// eachWorkload maps f over every workload concurrently, returning results
+// in workload order.
+func eachWorkload(c *Context, f func(p *Prepared) float64) []float64 {
+	names := SuiteNames("all")
+	res := make([]float64, len(names))
+	c.ParallelEach(len(names), func(i int) {
+		res[i] = f(c.Prep(names[i]))
+	})
+	return res
+}
+
+// baselineIPC computes the normalization baseline (BL+BOP IPC) for every
+// workload, keyed by name.
+func baselineIPC(c *Context) map[string]float64 {
+	names := SuiteNames("all")
+	ipcs := eachWorkload(c, func(p *Prepared) float64 {
+		return c.RunCached("BL", p, core.Options{Disable: true, WithBOP: true}).IPC()
+	})
+	base := make(map[string]float64, len(names))
+	for i, name := range names {
+		base[name] = ipcs[i]
+	}
+	return base
 }
 
 func summarizeSuites(t *stats.Table, label string, vals map[string][]float64) {
@@ -40,7 +71,7 @@ func summarizeSuites(t *stats.Table, label string, vals map[string][]float64) {
 
 // Fig9a regenerates Fig. 9-a: speedups of BL / DLA / R3-DLA with and
 // without the BOP prefetcher, normalized to BL+BOP, per suite.
-func Fig9a(c *Context) string {
+func Fig9a(c *Context) *Report {
 	type cfg struct {
 		name string
 		opt  core.Options
@@ -54,12 +85,7 @@ func Fig9a(c *Context) string {
 		{"R3-DLA", core.R3Options()},
 	}
 
-	// Normalization baseline: BL+BOP IPC per workload.
-	base := make(map[string]float64)
-	for _, name := range SuiteNames("all") {
-		p := c.Prep(name)
-		base[name] = c.RunCached("BL", p, core.Options{Disable: true, WithBOP: true}).IPC()
-	}
+	base := baselineIPC(c)
 
 	t := &stats.Table{
 		Title:  "Fig. 9-a: speedup over BL+BOP (geomean [min-max])",
@@ -71,29 +97,31 @@ func Fig9a(c *Context) string {
 		})
 		summarizeSuites(t, cf.name, vals)
 	}
-	return t.String()
+	return NewReport(t)
 }
 
 // Fig9b regenerates Fig. 9-b: the all-suite comparison against B-Fetch,
 // SlipStream, CRE, DLA and R3-DLA.
-func Fig9b(c *Context) string {
-	base := make(map[string]float64)
-	for _, name := range SuiteNames("all") {
-		p := c.Prep(name)
-		base[name] = c.RunCached("BL", p, core.Options{Disable: true, WithBOP: true}).IPC()
-	}
+func Fig9b(c *Context) *Report {
+	base := baselineIPC(c)
 	runners := []struct {
 		name string
 		f    func(p *Prepared) float64
 	}{
 		{"B-Fetch", func(p *Prepared) float64 {
-			return rival.RunBFetch(p.Prog, p.Setup, c.Budget).IPC()
+			var ipc float64
+			c.Do(func() { ipc = rival.RunBFetch(p.Prog, p.Setup, c.Budget).IPC() })
+			return ipc
 		}},
 		{"S-Stream", func(p *Prepared) float64 {
-			return rival.RunSlipStream(p.Prog, p.Setup, p.Prof, c.Budget).IPC()
+			var ipc float64
+			c.Do(func() { ipc = rival.RunSlipStream(p.Prog, p.Setup, p.Prof, c.Budget).IPC() })
+			return ipc
 		}},
 		{"CRE", func(p *Prepared) float64 {
-			return rival.RunCRE(p.Prog, p.Setup, p.Prof, c.Budget).IPC()
+			var ipc float64
+			c.Do(func() { ipc = rival.RunCRE(p.Prog, p.Setup, p.Prof, c.Budget).IPC() })
+			return ipc
 		}},
 		{"DLA", func(p *Prepared) float64 { return c.RunCached("DLA", p, core.DLAOptions()).IPC() }},
 		{"R3-DLA", func(p *Prepared) float64 { return c.RunCached("R3-DLA", p, core.R3Options()).IPC() }},
@@ -102,47 +130,53 @@ func Fig9b(c *Context) string {
 		Title:  "Fig. 9-b: all-suite speedup over BL+BOP",
 		Header: []string{"design", "speedup (geomean)", "range"},
 	}
+	names := SuiteNames("all")
 	for _, r := range runners {
+		ipcs := eachWorkload(c, r.f)
 		var vals []float64
-		for _, name := range SuiteNames("all") {
-			p := c.Prep(name)
-			vals = append(vals, r.f(p)/base[name])
+		for i, name := range names {
+			vals = append(vals, ipcs[i]/base[name])
 		}
 		lo, hi := stats.MinMax(vals)
 		t.AddRow(r.name, fmt.Sprintf("%.2f", stats.Geomean(vals)), fmt.Sprintf("[%.2f-%.2f]", lo, hi))
 	}
-	return t.String()
+	return NewReport(t)
 }
 
 // Table2 regenerates Table II: D/X/C activity, dynamic energy/power and
 // static power of LT and MT under DLA and R3-DLA, normalized to baseline.
-func Table2(c *Context) string {
+func Table2(c *Context) *Report {
 	p := energy.DefaultParams()
-	type row struct {
-		d, x, cc, de, dp, sp, pw []float64
-	}
-	agg := map[string]*row{"DLA LT": {}, "DLA MT": {}, "R3 LT": {}, "R3 MT": {}}
 
-	push := func(key string, act, bact energy.Activity, e, be energy.Breakdown) {
-		r := agg[key]
-		ar := act.Ratio(bact)
-		r.d = append(r.d, ar.D)
-		r.x = append(r.x, ar.X)
-		r.cc = append(r.cc, ar.C)
-		r.de = append(r.de, e.DynamicJ/be.DynamicJ)
-		r.dp = append(r.dp, e.DynPowerW()/be.DynPowerW())
-		r.sp = append(r.sp, e.StatPowerW()/be.StatPowerW())
-		r.pw = append(r.pw, e.PowerW()/be.PowerW())
+	// One workload contributes 7 normalized metrics to each of the four
+	// (config, thread) rows; compute all contributions concurrently, then
+	// aggregate in workload order.
+	type contrib struct {
+		d, x, cc, de, dp, sp, pw float64
 	}
+	keys := []string{"DLA LT", "DLA MT", "R3 LT", "R3 MT"}
+	names := SuiteNames("all")
+	per := make([]map[string]contrib, len(names))
 
-	for _, name := range SuiteNames("all") {
-		pr := c.Prep(name)
+	c.ParallelEach(len(names), func(wi int) {
+		pr := c.Prep(names[wi])
 		bl := c.RunCached("BL", pr, core.Options{Disable: true, WithBOP: true})
 		bAct := energy.ActivityOf(bl.MT)
 		bEn := energy.Core(energy.CoreActivity{
 			Metrics: bl.MT, L1I: &bl.MTMem.L1I.Stats, L1D: &bl.MTMem.L1D.Stats,
 			L2: &bl.MTMem.L2.Stats, WallCycles: bl.MT.Cycles,
 		}, p)
+		out := make(map[string]contrib, 4)
+		mk := func(act energy.Activity, e energy.Breakdown) contrib {
+			ar := act.Ratio(bAct)
+			return contrib{
+				d: ar.D, x: ar.X, cc: ar.C,
+				de: e.DynamicJ / bEn.DynamicJ,
+				dp: e.DynPowerW() / bEn.DynPowerW(),
+				sp: e.StatPowerW() / bEn.StatPowerW(),
+				pw: e.PowerW() / bEn.PowerW(),
+			}
+		}
 		for _, cfgName := range []string{"DLA", "R3"} {
 			opt := core.DLAOptions()
 			if cfgName == "R3" {
@@ -158,8 +192,23 @@ func Table2(c *Context) string {
 				Metrics: r.LT, L1I: &r.LTMem.L1I.Stats, L1D: &r.LTMem.L1D.Stats,
 				L2: &r.LTMem.L2.Stats, WallCycles: wall,
 			}, p)
-			push(cfgName+" MT", energy.ActivityOf(r.MT), bAct, mtEn, bEn)
-			push(cfgName+" LT", energy.ActivityOf(r.LT), bAct, ltEn, bEn)
+			out[cfgName+" MT"] = mk(energy.ActivityOf(r.MT), mtEn)
+			out[cfgName+" LT"] = mk(energy.ActivityOf(r.LT), ltEn)
+		}
+		per[wi] = out
+	})
+
+	agg := make(map[string]*[7][]float64, len(keys))
+	for _, k := range keys {
+		agg[k] = &[7][]float64{}
+	}
+	for _, out := range per {
+		for _, k := range keys {
+			cb := out[k]
+			a := agg[k]
+			for j, v := range []float64{cb.d, cb.x, cb.cc, cb.de, cb.dp, cb.sp, cb.pw} {
+				a[j] = append(a[j], v)
+			}
 		}
 	}
 
@@ -167,22 +216,24 @@ func Table2(c *Context) string {
 		Title:  "Table II: activities, energy and power normalized to baseline (means)",
 		Header: []string{"", "D", "X", "C", "Dyn.Energy", "Dyn.Power", "Static Power", "Power"},
 	}
-	for _, key := range []string{"DLA LT", "DLA MT", "R3 LT", "R3 MT"} {
-		r := agg[key]
-		t.AddRow(key,
-			pct(stats.Mean(r.d)), pct(stats.Mean(r.x)), pct(stats.Mean(r.cc)),
-			pct(stats.Mean(r.de)), pct(stats.Mean(r.dp)), pct(stats.Mean(r.sp)), pct(stats.Mean(r.pw)))
+	for _, key := range keys {
+		a := agg[key]
+		row := []string{key}
+		for j := 0; j < 7; j++ {
+			row = append(row, pct(stats.Mean(a[j])))
+		}
+		t.AddRow(row...)
 	}
-	return t.String()
+	return NewReport(t)
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
 
 // Fig10 regenerates Fig. 10: CPU and DRAM energy of DLA and R3-DLA
 // normalized to baseline, per suite.
-func Fig10(c *Context) string {
+func Fig10(c *Context) *Report {
 	p := energy.DefaultParams()
-	var b strings.Builder
+	rep := NewReport()
 	for _, part := range []string{"cpu", "dram"} {
 		t := &stats.Table{
 			Title:  fmt.Sprintf("Fig. 10 (%s energy normalized to baseline)", part),
@@ -203,10 +254,9 @@ func Fig10(c *Context) string {
 			})
 			summarizeSuites(t, cfgName, vals)
 		}
-		b.WriteString(t.String())
-		b.WriteByte('\n')
+		rep.Add(t)
 	}
-	return b.String()
+	return rep
 }
 
 // cpuEnergy totals core + shared-cache energy of a run.

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"r3dla/internal/analytic"
 	"r3dla/internal/core"
@@ -14,7 +13,7 @@ import (
 
 // Fig1 regenerates Fig. 1: implicit parallelism of the spec-like
 // workloads with moving windows of 128/512/2048, ideal vs real supply.
-func Fig1(c *Context) string {
+func Fig1(c *Context) *Report {
 	windows := []int{128, 512, 2048}
 	t := &stats.Table{
 		Title: "Fig. 1: implicit parallelism (IPC), ideal vs real supply",
@@ -22,18 +21,26 @@ func Fig1(c *Context) string {
 			"ideal:128", "ideal:512", "ideal:2048",
 			"real:128", "real:512", "real:2048"},
 	}
-	geo := make([][]float64, 6)
-	for _, w := range workloads.BySuite("spec") {
-		prog, setup := w.Build(EvalSeed)
-		row := []string{w.Name}
-		for i, real := range []bool{false, true} {
-			for j, win := range windows {
-				ipc := limit.IPC(prog, setup, limit.Config{
-					Window: win, Real: real, Budget: c.Budget / 4,
-				})
-				row = append(row, fmt.Sprintf("%.2f", ipc))
-				geo[i*3+j] = append(geo[i*3+j], ipc)
+	suite := workloads.BySuite("spec")
+	ipcs := make([][6]float64, len(suite))
+	c.ParallelEach(len(suite), func(wi int) {
+		c.Do(func() {
+			prog, setup := suite[wi].Build(EvalSeed)
+			for i, real := range []bool{false, true} {
+				for j, win := range windows {
+					ipcs[wi][i*3+j] = limit.IPC(prog, setup, limit.Config{
+						Window: win, Real: real, Budget: c.Budget / 4,
+					})
+				}
 			}
+		})
+	})
+	geo := make([][]float64, 6)
+	for wi, w := range suite {
+		row := []string{w.Name}
+		for k, ipc := range ipcs[wi] {
+			row = append(row, fmt.Sprintf("%.2f", ipc))
+			geo[k] = append(geo[k], ipc)
 		}
 		t.AddRow(row...)
 	}
@@ -42,7 +49,7 @@ func Fig1(c *Context) string {
 		grow = append(grow, fmt.Sprintf("%.2f", stats.Geomean(g)))
 	}
 	t.AddRow(grow...)
-	return t.String()
+	return NewReport(t)
 }
 
 // fbWorkload is the Fig. 5 case-study workload (the paper uses povray,
@@ -54,39 +61,44 @@ const fbWorkload = "gobmk"
 // measureSupplyDemand extracts the empirical supply and demand
 // distributions of Appendix B: demand under a perfect frontend, supply
 // under an infinite backend (with and without taken-branch fetch breaks
-// to model a trace cache).
+// to model a trace cache). The three measurement runs are independent and
+// dispatched to the worker pool.
 func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []float64) {
-	run := func(mut func(*pipeline.Config)) *pipeline.Metrics {
-		cfg := pipeline.DefaultConfig()
-		cfg.FetchWidth = 16   // Appendix B case study: 16-wide I-cache fetch
-		cfg.FetchBufSize = 64 // don't let the buffer cap the supply measure
-		mut(&cfg)
-		m, _ := BaselineMetricsOn(p, cfg, c.Budget/4, true)
-		return m
+	muts := []func(*pipeline.Config){
+		func(cfg *pipeline.Config) { cfg.PerfectFrontend = true; cfg.TrackDemand = true },
+		func(cfg *pipeline.Config) { cfg.InfiniteBackend = true; cfg.TrackSupply = true },
+		func(cfg *pipeline.Config) {
+			cfg.InfiniteBackend = true
+			cfg.TrackSupply = true
+			cfg.NoFetchBreakOnTaken = true
+		},
 	}
-	d := run(func(cfg *pipeline.Config) { cfg.PerfectFrontend = true; cfg.TrackDemand = true })
-	s1 := run(func(cfg *pipeline.Config) { cfg.InfiniteBackend = true; cfg.TrackSupply = true })
-	s2 := run(func(cfg *pipeline.Config) {
-		cfg.InfiniteBackend = true
-		cfg.TrackSupply = true
-		cfg.NoFetchBreakOnTaken = true
+	ms := make([]*pipeline.Metrics, len(muts))
+	c.ParallelEach(len(muts), func(i int) {
+		c.Do(func() {
+			cfg := pipeline.DefaultConfig()
+			cfg.FetchWidth = 16   // Appendix B case study: 16-wide I-cache fetch
+			cfg.FetchBufSize = 64 // don't let the buffer cap the supply measure
+			muts[i](&cfg)
+			ms[i], _ = BaselineMetricsOn(p, cfg, c.Budget/4, true)
+		})
 	})
-	return d.Demand.Dist(), s1.Supply.Dist(), s2.Supply.Dist()
+	return ms[0].Demand.Dist(), ms[1].Supply.Dist(), ms[2].Supply.Dist()
 }
 
 // Fig5 regenerates Fig. 5: the analytic queue-length distributions for
 // capacities 8 and 32 under I-cache and trace-cache supply (a), and the
 // expected fetch bubbles as capacity varies (b).
-func Fig5(c *Context) string {
+func Fig5(c *Context) *Report {
 	p := c.Prep(fbWorkload)
 	demand, supplyIC, supplyTC := measureSupplyDemand(c, p)
 	mIC := analytic.NewModel(demand, supplyIC)
 	mTC := analytic.NewModel(demand, supplyTC)
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "== Fig. 5-a: P(queue length), workload %s ==\n", fbWorkload)
-	fmt.Fprintf(&b, "%-6s %-14s %-14s %-14s %-14s\n", "len",
-		"icache cap8", "icache cap32", "trace cap8", "trace cap32")
+	ta := &stats.Table{
+		Title:  fmt.Sprintf("Fig. 5-a: P(queue length), workload %s", fbWorkload),
+		Header: []string{"len", "icache cap8", "icache cap32", "trace cap8", "trace cap32"},
+	}
 	q8, q32 := mIC.QueueDist(8), mIC.QueueDist(32)
 	t8, t32 := mTC.QueueDist(8), mTC.QueueDist(32)
 	for i := 0; i <= 32; i++ {
@@ -96,34 +108,42 @@ func Fig5(c *Context) string {
 			}
 			return "-"
 		}
-		fmt.Fprintf(&b, "%-6d %-14s %-14s %-14s %-14s\n", i, get(q8), get(q32), get(t8), get(t32))
+		ta.AddRow(fmt.Sprint(i), get(q8), get(q32), get(t8), get(t32))
 	}
-	b.WriteString("\n== Fig. 5-b: expected fetch bubbles vs capacity ==\n")
-	fmt.Fprintf(&b, "%-10s %-12s %-12s\n", "capacity", "I-cache", "Trace-cache")
+	tb := &stats.Table{
+		Title:  "Fig. 5-b: expected fetch bubbles vs capacity",
+		Header: []string{"capacity", "I-cache", "Trace-cache"},
+	}
 	for cap := 8; cap <= 32; cap += 4 {
-		fmt.Fprintf(&b, "%-10d %-12.3f %-12.3f\n", cap, mIC.ExpectedBubbles(cap), mTC.ExpectedBubbles(cap))
+		tb.AddRow(fmt.Sprint(cap),
+			fmt.Sprintf("%.3f", mIC.ExpectedBubbles(cap)),
+			fmt.Sprintf("%.3f", mTC.ExpectedBubbles(cap)))
 	}
-	return b.String()
+	return NewReport(ta, tb)
 }
 
 // Fig14 regenerates Fig. 14: theoretical vs simulated fetch-buffer
 // queue-length distribution.
-func Fig14(c *Context) string {
+func Fig14(c *Context) *Report {
 	p := c.Prep(fbWorkload)
 	demand, supplyIC, _ := measureSupplyDemand(c, p)
 	model := analytic.NewModel(demand, supplyIC)
 	theory := model.QueueDist(32)
 
-	cfg := pipeline.DefaultConfig()
-	cfg.FetchWidth = 16
-	cfg.FetchBufSize = 32
-	cfg.TrackFetchQOcc = true
-	m, _ := BaselineMetricsOn(p, cfg, c.Budget/4, true)
-	sim := m.FetchQOcc.Dist()
+	var sim []float64
+	c.Do(func() {
+		cfg := pipeline.DefaultConfig()
+		cfg.FetchWidth = 16
+		cfg.FetchBufSize = 32
+		cfg.TrackFetchQOcc = true
+		m, _ := BaselineMetricsOn(p, cfg, c.Budget/4, true)
+		sim = m.FetchQOcc.Dist()
+	})
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "== Fig. 14: fetch buffer occupancy, theory vs simulation (%s) ==\n", fbWorkload)
-	fmt.Fprintf(&b, "%-6s %-12s %-12s\n", "len", "theoretical", "simulated")
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Fig. 14: fetch buffer occupancy, theory vs simulation (%s)", fbWorkload),
+		Header: []string{"len", "theoretical", "simulated"},
+	}
 	for i := 0; i <= 32; i++ {
 		tv, sv := 0.0, 0.0
 		if i < len(theory) {
@@ -132,27 +152,31 @@ func Fig14(c *Context) string {
 		if i < len(sim) {
 			sv = sim[i]
 		}
-		fmt.Fprintf(&b, "%-6d %-12.4f %-12.4f\n", i, tv, sv)
+		t.AddRow(fmt.Sprint(i), fmt.Sprintf("%.4f", tv), fmt.Sprintf("%.4f", sv))
 	}
-	return b.String()
+	return NewReport(t)
 }
 
 // Fig15 regenerates Fig. 15: the distribution of skeleton versions chosen
 // by online recycling, per spec workload.
-func Fig15(c *Context) string {
+func Fig15(c *Context) *Report {
 	t := &stats.Table{
 		Title:  "Fig. 15: fraction of instructions under each skeleton version (online recycle)",
 		Header: []string{"bench", "a", "b", "c", "d", "e", "f"},
 	}
-	for _, w := range workloads.BySuite("spec") {
-		p := c.Prep(w.Name)
-		r := c.RunCached("R3-DLA", p, core.R3Options())
+	suite := workloads.BySuite("spec")
+	use := make([][]uint64, len(suite))
+	c.ParallelEach(len(suite), func(i int) {
+		p := c.Prep(suite[i].Name)
+		use[i] = c.RunCached("R3-DLA", p, core.R3Options()).SkeletonUse
+	})
+	for i, w := range suite {
 		var total uint64
-		for _, u := range r.SkeletonUse {
+		for _, u := range use[i] {
 			total += u
 		}
 		row := []string{w.Name}
-		for _, u := range r.SkeletonUse {
+		for _, u := range use[i] {
 			f := 0.0
 			if total > 0 {
 				f = float64(u) / float64(total)
@@ -161,21 +185,23 @@ func Fig15(c *Context) string {
 		}
 		t.AddRow(row...)
 	}
-	return t.String()
+	return NewReport(t)
 }
 
 // Table1 prints the modeled system configuration.
-func Table1(c *Context) string {
+func Table1(c *Context) *Report {
 	cfg := pipeline.DefaultConfig()
-	var b strings.Builder
-	b.WriteString("== Table I: system configuration (as modeled) ==\n")
-	fmt.Fprintf(&b, "Core: %d-wide OoO, %d ROB, %d LSQ, %dINT/%dFP PRF, %dINT/%dMEM/%dFP FUs\n",
-		cfg.DecodeWidth, cfg.ROB, cfg.LSQ, cfg.IntPRF, cfg.FPPRF, cfg.IntFUs, cfg.MemFUs, cfg.FPFUs)
-	fmt.Fprintf(&b, "Frontend: fetch %d/cycle, fetch buffer %d, redirect penalty %d\n",
-		cfg.FetchWidth, cfg.FetchBufSize, cfg.RedirectPenalty)
-	fmt.Fprintf(&b, "Predictor: TAGE-lite + %d-entry BTB + %d-entry RAS\n", 1<<cfg.BTBBits, cfg.RASEntries)
-	b.WriteString("L1: 32KB I + 32KB D, 4-way, 64B, 3 cyc; L2: 256KB 8-way 9 cyc (+BOP); L3: 2MB 16-way 36 cyc\n")
-	b.WriteString("DRAM: DDR3-1600-like, 2 channels, 16 banks/chan, open row\n")
-	b.WriteString("DLA: BOQ 512, FQ 128, VPT 32, T1 16 entries, LCT 16 entries, reboot 64 cyc\n")
-	return b.String()
+	t := &stats.Table{
+		Title:  "Table I: system configuration (as modeled)",
+		Header: []string{"unit", "configuration"},
+	}
+	t.AddRow("Core", fmt.Sprintf("%d-wide OoO, %d ROB, %d LSQ, %dINT/%dFP PRF, %dINT/%dMEM/%dFP FUs",
+		cfg.DecodeWidth, cfg.ROB, cfg.LSQ, cfg.IntPRF, cfg.FPPRF, cfg.IntFUs, cfg.MemFUs, cfg.FPFUs))
+	t.AddRow("Frontend", fmt.Sprintf("fetch %d/cycle, fetch buffer %d, redirect penalty %d",
+		cfg.FetchWidth, cfg.FetchBufSize, cfg.RedirectPenalty))
+	t.AddRow("Predictor", fmt.Sprintf("TAGE-lite + %d-entry BTB + %d-entry RAS", 1<<cfg.BTBBits, cfg.RASEntries))
+	t.AddRow("Caches", "L1: 32KB I + 32KB D, 4-way, 64B, 3 cyc; L2: 256KB 8-way 9 cyc (+BOP); L3: 2MB 16-way 36 cyc")
+	t.AddRow("DRAM", "DDR3-1600-like, 2 channels, 16 banks/chan, open row")
+	t.AddRow("DLA", "BOQ 512, FQ 128, VPT 32, T1 16 entries, LCT 16 entries, reboot 64 cyc")
+	return NewReport(t)
 }

@@ -6,11 +6,12 @@ import (
 	"strings"
 )
 
-// Experiment is one regenerable artifact of the paper.
+// Experiment is one regenerable artifact of the paper. Run returns the
+// structured report; the engine stamps its ID/Title from the registry.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Context) string
+	Run   func(*Context) *Report
 }
 
 // Registry lists every experiment by id.

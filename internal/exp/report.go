@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"r3dla/internal/stats"
+)
+
+// Report is the structured result of one experiment: an ordered list of
+// tables, each a header plus rows of cells. The text rendering mirrors
+// the paper artifact; JSON and CSV expose the same rows machine-readably.
+type Report struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Tables []*stats.Table `json:"tables"`
+}
+
+// NewReport collects tables into a report (ID/Title are stamped by the
+// engine from the registry entry).
+func NewReport(tables ...*stats.Table) *Report {
+	return &Report{Tables: tables}
+}
+
+// Add appends a table.
+func (r *Report) Add(t *stats.Table) { r.Tables = append(r.Tables, t) }
+
+// String renders every table as fixed-width text, in order.
+func (r *Report) String() string {
+	var b strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes every table as RFC-4180 CSV: a `# title` comment line,
+// the header row, then the data rows, with a blank line between tables.
+func (r *Report) WriteCSV(w io.Writer) error {
+	for i, t := range r.Tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
 // Package stats provides the small statistical and reporting helpers shared
-// by the experiment harness: geometric means, ranges, histograms, and
-// fixed-width table rendering for regenerating the paper's tables/figures
-// as text.
+// by the experiment harness: geometric means, ranges, histograms, and the
+// Table type the experiment drivers emit — renderable as fixed-width text
+// (mirroring the paper's tables/figures), as RFC-4180 CSV, or serialized
+// to JSON through its exported fields.
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -126,11 +129,13 @@ func (h *Histogram) Mean() float64 {
 	return s / float64(h.Total)
 }
 
-// Table renders fixed-width text tables for the experiment reports.
+// Table is one table of an experiment report: a title, a header, and
+// rows of pre-formatted cells. It renders as fixed-width text or CSV and
+// marshals directly to JSON.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of cells.
@@ -187,6 +192,25 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
+}
+
+// WriteCSV writes the table as RFC-4180 CSV: a `# title` comment line
+// (when titled), the header row, then the data rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Bar renders a crude one-line ASCII bar for value v against full-scale hi.

@@ -14,10 +14,13 @@
 //	fmt.Println(res.IPC())
 //
 // Experiments reproducing each table/figure of the paper are exposed via
-// Experiments() and the cmd/r3dla command.
+// NewExperiments/RunExperiments and the cmd/r3dla command; they run
+// concurrently on a bounded worker pool with deterministic output.
 package r3dla
 
 import (
+	"context"
+
 	"r3dla/internal/core"
 	"r3dla/internal/emu"
 	"r3dla/internal/exp"
@@ -100,8 +103,22 @@ func DefaultCoreConfig() CoreConfig { return pipeline.DefaultConfig() }
 
 // NewExperiments returns a context for regenerating the paper's tables
 // and figures (budget = committed instructions per simulation; 0 picks
-// the default).
+// the default). Set its Jobs field to bound the worker pool the runs are
+// dispatched to; the context is safe for concurrent use.
 func NewExperiments(budget uint64) *ExperimentContext { return exp.NewContext(budget) }
+
+// ExperimentReport is the structured (tables of rows) result of one
+// experiment; it renders as text and serializes to JSON/CSV.
+type ExperimentReport = exp.Report
+
+// ExperimentResult is one experiment's outcome from RunExperiments
+// (report or error, plus timing).
+type ExperimentResult = exp.Result
+
+// ExperimentEvent is a progress notification; assign a func(ExperimentEvent)
+// to ExperimentContext.Progress to observe preparation/run/experiment
+// completion.
+type ExperimentEvent = exp.Event
 
 // RunExperiment regenerates one artifact ("fig9a", "tab2", ...; see
 // ExperimentIDs) and returns its text rendering.
@@ -110,7 +127,15 @@ func RunExperiment(ctx *ExperimentContext, id string) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return e.Run(ctx), true
+	return e.Run(ctx).String(), true
+}
+
+// RunExperiments regenerates several artifacts concurrently on ctx's
+// worker pool, returning structured reports in id order (deterministic
+// regardless of scheduling). Cancellation via cctx aborts outstanding
+// work.
+func RunExperiments(cctx context.Context, ctx *ExperimentContext, ids []string) ([]ExperimentResult, error) {
+	return exp.Run(cctx, ctx, ids, nil)
 }
 
 // ExperimentIDs lists the regenerable artifacts.
