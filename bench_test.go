@@ -166,7 +166,7 @@ func BenchmarkAblationSkeletonVersion(b *testing.B) {
 		v := v
 		b.Run(itobench(v), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ipc := runDLA(b, func(o *core.Options) { o.FixedVersion = v })
+				ipc := runDLA(b, func(o *core.Options) { o.FixedVersion, o.HasFixedVersion = v, true })
 				b.ReportMetric(ipc, "ipc")
 			}
 		})

@@ -9,11 +9,12 @@
 //	r3dla -exp all -format json,csv -out results
 //	r3dla -list                          # what's available
 //
-// Experiments run on a bounded worker pool (-jobs, default GOMAXPROCS);
-// per-workload preparation and standard-configuration runs are shared
-// across experiments, and the output is byte-identical for every -jobs
-// value. Progress is reported on stderr as workloads are prepared and
-// experiments complete; -v adds per-workload detail lines.
+// Experiments run through the Lab client on a bounded worker pool
+// (-jobs, default GOMAXPROCS); per-workload preparation and
+// standard-configuration runs are shared across experiments, and the
+// output is byte-identical for every -jobs value. Progress is reported
+// on stderr as workloads are prepared and experiments complete; -v adds
+// per-workload detail lines.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 	"strings"
 	"time"
 
-	"r3dla/internal/exp"
+	"r3dla/internal/lab"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
-		fmt.Print(exp.List())
+		fmt.Print(lab.FormatExperiments())
 		if *expID == "" {
 			os.Exit(2)
 		}
@@ -77,20 +78,20 @@ func main() {
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = nil
-		for _, e := range exp.Registry {
+		for _, e := range lab.ListExperiments() {
 			ids = append(ids, e.ID)
 		}
-	} else if _, ok := exp.ByID(*expID); !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n%s", *expID, exp.List())
+	} else if _, ok := lab.ExperimentByID(*expID); !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n%s", *expID, lab.FormatExperiments())
 		os.Exit(2)
 	}
 
-	c := exp.NewContext(*budget)
-	c.Verbose = *verbose
-	c.Jobs = *jobs
-	c.LogW = os.Stderr
+	opts := []lab.ClientOption{lab.WithBudget(*budget), lab.WithJobs(*jobs)}
+	if *verbose {
+		opts = append(opts, lab.WithDetailLog(os.Stderr))
+	}
 	if !*quiet {
-		c.Progress = func(ev exp.Event) {
+		opts = append(opts, lab.WithProgress(func(ev lab.Event) {
 			switch ev.Stage {
 			case "prep":
 				fmt.Fprintf(os.Stderr, "  [prep] %-9s ready in %v\n", ev.Workload, ev.Elapsed.Round(time.Millisecond))
@@ -101,14 +102,19 @@ func main() {
 			case "exp":
 				fmt.Fprintf(os.Stderr, "[done] %s (%v)\n", ev.Exp, ev.Elapsed.Round(time.Millisecond))
 			}
-		}
+		}))
+	}
+	l, err := lab.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla: %v\n", err)
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	failed := false
-	_, err := exp.Run(ctx, c, ids, func(r exp.Result) {
+	_, err = l.Experiments(ctx, ids, func(r lab.ExperimentResult) {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "r3dla: %s: %v\n", r.ID, r.Err)
 			failed = true

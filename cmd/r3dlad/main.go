@@ -1,0 +1,80 @@
+// Command r3dlad is the long-lived simulation service: an HTTP/JSON API
+// over the r3dla Lab client. All requests share one Lab, so per-workload
+// preparation and configuration runs are computed once (singleflight)
+// and served from cache afterwards, and total compute is bounded by one
+// server-wide worker pool.
+//
+// Usage:
+//
+//	r3dlad                                   # serve on :8080
+//	r3dlad -addr :9000 -budget 300000 -jobs 8
+//
+// Endpoints:
+//
+//	GET  /v1/healthz              liveness + request counters
+//	GET  /v1/experiments          regenerable paper artifacts
+//	GET  /v1/workloads            the evaluation suite
+//	POST /v1/experiments/{id}     regenerate one artifact (?stream=1: NDJSON progress)
+//	POST /v1/runs                 one simulation (RunRequest JSON body)
+//
+// A disconnecting client cancels its in-flight simulation cooperatively
+// (accounted as a 499 in /v1/healthz counters); SIGINT/SIGTERM drain the
+// server gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"r3dla/internal/lab"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		budget    = flag.Uint64("budget", 150_000, "default committed instructions per simulation")
+		jobs      = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxBudget = flag.Uint64("max-budget", 10_000_000, "largest per-request budget override (0 = unlimited)")
+		inflight  = flag.Int("inflight", 64, "max concurrently admitted simulation requests (0 = unlimited)")
+	)
+	flag.Parse()
+
+	l, err := lab.New(lab.WithBudget(*budget), lab.WithJobs(*jobs))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dlad: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     lab.NewServer(l, lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight)),
+		ReadTimeout: 30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "r3dlad: serving on %s (budget %d, jobs %d)\n", *addr, *budget, *jobs)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "r3dlad: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "r3dlad: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "r3dlad: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"os"
 
-	"r3dla/internal/core"
-	"r3dla/internal/workloads"
+	"r3dla/internal/lab"
 )
 
 func main() {
@@ -20,44 +19,26 @@ func main() {
 	)
 	flag.Parse()
 
-	w := workloads.ByName(*name)
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; available: %v\n", *name, workloads.Names())
+	info, err := lab.DescribeSkeletons(*name, *train, *dump)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skelgen: %v; available:\n", err)
+		for _, w := range lab.ListWorkloads() {
+			fmt.Fprintf(os.Stderr, "  %s\n", w.Name)
+		}
 		os.Exit(2)
 	}
-	prog, setup := w.Build(1)
-	prof := core.Collect(prog, setup, *train)
-	set := core.Generate(prog, prof)
 
-	fmt.Printf("workload %s (%s): %d static instructions\n\n", w.Name, w.Suite, len(prog.Insts))
-	fmt.Println("baseline:", set.Baseline.Describe())
-	for i, v := range set.Versions {
-		fmt.Printf("version %d: %s\n", i, v.Describe())
+	fmt.Printf("workload %s (%s): %d static instructions\n\n", info.Workload, info.Suite, info.StaticInsts)
+	fmt.Println("baseline:", info.Baseline)
+	for i, v := range info.Versions {
+		fmt.Printf("version %d: %s\n", i, v)
 	}
-	marks := 0
-	for _, s := range set.SBits {
-		if s {
-			marks++
-		}
-	}
-	fmt.Printf("T1 S-bit marks: %d\n", marks)
+	fmt.Printf("T1 S-bit marks: %d\n", info.SBitMarks)
 
 	if *dump {
 		fmt.Println("\npc  mask  inst")
-		for pc, in := range prog.Insts {
-			mark := " "
-			if set.Baseline.Include[pc] {
-				mark = "*"
-			}
-			s := ""
-			if set.SBits[pc] {
-				s = " [S]"
-			}
-			f := ""
-			if t, ok := set.Baseline.Forced(pc); ok {
-				f = fmt.Sprintf(" [forced %v]", t)
-			}
-			fmt.Printf("%4d  %s  %v%s%s\n", pc, mark, in.String(), s, f)
+		for _, line := range info.Listing {
+			fmt.Println(line)
 		}
 	}
 }

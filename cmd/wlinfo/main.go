@@ -6,10 +6,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"r3dla/internal/core"
-	"r3dla/internal/isa"
-	"r3dla/internal/workloads"
+	"r3dla/internal/lab"
 )
 
 func main() {
@@ -18,37 +17,14 @@ func main() {
 
 	fmt.Printf("%-10s %-6s %6s %6s %6s %8s %8s %8s\n",
 		"name", "suite", "load%", "store%", "br%", "L1mpki", "L2mpki", "strided")
-	for _, w := range workloads.All() {
-		prog, setup := w.Build(1)
-		prof := core.Collect(prog, setup, *budget)
-
-		var loads, stores, branches, total uint64
-		var l1m, l2m uint64
-		strided := 0
-		for pc := range prog.Insts {
-			st := &prof.PCs[pc]
-			total += st.Exec
-			op := prog.Insts[pc].Op
-			switch {
-			case op.IsLoad():
-				loads += st.Exec
-				l1m += st.L1Miss
-				l2m += st.L2Miss
-				if st.Strided() {
-					strided++
-				}
-			case op.IsStore():
-				stores += st.Exec
-			case op.Class() == isa.ClassBranch:
-				branches += st.Exec
-			}
+	for _, w := range lab.ListWorkloads() {
+		st, err := lab.Characterize(w.Name, *budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlinfo: %v\n", err)
+			os.Exit(1)
 		}
-		if total == 0 {
-			continue
-		}
-		p := func(x uint64) float64 { return float64(x) / float64(total) * 100 }
 		fmt.Printf("%-10s %-6s %5.1f%% %5.1f%% %5.1f%% %8.2f %8.2f %8d\n",
-			w.Name, w.Suite, p(loads), p(stores), p(branches),
-			float64(l1m)/float64(total)*1000, float64(l2m)/float64(total)*1000, strided)
+			st.Name, st.Suite, st.LoadPct, st.StorePct, st.BranchPct,
+			st.L1MPKI, st.L2MPKI, st.StridedLoads)
 	}
 }

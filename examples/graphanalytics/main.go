@@ -6,46 +6,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"r3dla"
 )
 
 func main() {
-	const train = 60_000
-	const budget = 150_000
+	ctx := context.Background()
+	l, err := r3dla.NewLab(r3dla.WithBudget(150_000), r3dla.WithTrainBudget(60_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	blCfg := r3dla.MustConfig(r3dla.Baseline)
+	dlaCfg := r3dla.MustConfig(r3dla.DLA)
+	r3Cfg := r3dla.MustConfig(r3dla.R3)
+
+	run := func(name string, cfg r3dla.Config) *r3dla.RunResult {
+		r, err := l.RunConfig(ctx, name, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	var graphs []string
+	for _, w := range r3dla.ListWorkloads() {
+		if w.Suite == "crono" {
+			graphs = append(graphs, w.Name)
+		}
+	}
 
 	fmt.Printf("%-10s %10s %10s %10s %12s %10s\n",
 		"graph", "BL IPC", "DLA IPC", "R3 IPC", "R3 speedup", "reboots")
-	for _, w := range r3dla.Workloads() {
-		if w.Suite != "crono" {
-			continue
-		}
-		tp, ts := w.Build(1)
-		prof := r3dla.Profile(tp, ts, train)
-		ep, es := w.Build(2)
-		set := r3dla.Skeletons(ep, prof)
-
-		bl := r3dla.NewSystem(ep, es, set, prof, r3dla.BaselineOptions()).Run(budget)
-		dla := r3dla.NewSystem(ep, es, set, prof, r3dla.DLAOptions()).Run(budget)
-		r3 := r3dla.NewSystem(ep, es, set, prof, r3dla.R3Options()).Run(budget)
-
+	for _, name := range graphs {
+		bl := run(name, blCfg)
+		dla := run(name, dlaCfg)
+		r3 := run(name, r3Cfg)
 		fmt.Printf("%-10s %10.3f %10.3f %10.3f %11.2fx %10d\n",
-			w.Name, bl.IPC(), dla.IPC(), r3.IPC(), r3.IPC()/bl.IPC(), r3.Reboots)
+			name, bl.IPC, dla.IPC, r3.IPC, r3.IPC/bl.IPC, r3.Reboots)
 	}
+
 	fmt.Println("\nL1D demand-miss profile (baseline vs R3-DLA), per kilo-instruction:")
-	for _, w := range r3dla.Workloads() {
-		if w.Suite != "crono" {
-			continue
-		}
-		tp, ts := w.Build(1)
-		prof := r3dla.Profile(tp, ts, train)
-		ep, es := w.Build(2)
-		set := r3dla.Skeletons(ep, prof)
-		bl := r3dla.NewSystem(ep, es, set, prof, r3dla.BaselineOptions()).Run(budget)
-		r3 := r3dla.NewSystem(ep, es, set, prof, r3dla.R3Options()).Run(budget)
-		fmt.Printf("  %-10s %6.1f -> %6.1f\n", w.Name,
-			bl.MTMem.L1D.Stats.MPKI(bl.MT.Committed),
-			r3.MTMem.L1D.Stats.MPKI(r3.MT.Committed))
+	for _, name := range graphs {
+		// Served from the Lab's result cache — no re-simulation.
+		bl := run(name, blCfg)
+		r3 := run(name, r3Cfg)
+		fmt.Printf("  %-10s %6.1f -> %6.1f\n", name, bl.L1DMPKI, r3.L1DMPKI)
 	}
 }

@@ -6,42 +6,43 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"r3dla"
-	"r3dla/internal/core"
 )
 
 func main() {
-	const train = 60_000
-	const budget = 150_000
+	ctx := context.Background()
+	l, err := r3dla.NewLab(r3dla.WithBudget(150_000), r3dla.WithTrainBudget(60_000))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfgs := []struct {
 		name string
-		opt  core.Options
+		cfg  r3dla.Config
 	}{
-		{"DLA", r3dla.DLAOptions()},
-		{"DLA+Stride", core.Options{WithBOP: true, WithStride: true}},
-		{"DLA+T1", core.Options{WithBOP: true, T1: true}},
+		{"DLA", r3dla.MustConfig(r3dla.DLA)},
+		{"DLA+Stride", r3dla.MustConfig(r3dla.DLA, r3dla.WithStride(true))},
+		{"DLA+T1", r3dla.MustConfig(r3dla.DLA, r3dla.WithT1(true))},
 	}
 
 	for _, name := range []string{"libq", "rgbyuv", "mg", "mcf", "sjeng"} {
-		w := r3dla.Workload(name)
-		tp, ts := w.Build(1)
-		prof := r3dla.Profile(tp, ts, train)
-		ep, es := w.Build(2)
-		set := r3dla.Skeletons(ep, prof)
-
 		fmt.Printf("%s:\n", name)
 		var dlaIPC, dlaTraffic float64
 		for i, cfg := range cfgs {
-			r := r3dla.NewSystem(ep, es, set, prof, cfg.opt).Run(budget)
-			traffic := float64(r.Shared.DRAM.Traffic())
+			r, err := l.RunConfig(ctx, name, cfg.cfg, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traffic := float64(r.DRAMTraffic)
 			if i == 0 {
-				dlaIPC, dlaTraffic = r.IPC(), traffic
+				dlaIPC, dlaTraffic = r.IPC, traffic
 			}
 			fmt.Printf("  %-11s IPC %6.3f (%.2fx)  traffic %.2fx  LT insts %d\n",
-				cfg.name, r.IPC(), r.IPC()/dlaIPC, traffic/dlaTraffic, r.LT.Committed)
+				cfg.name, r.IPC, r.IPC/dlaIPC, traffic/dlaTraffic, r.LT.Committed)
 		}
 	}
 }

@@ -1,10 +1,13 @@
-// Quickstart: assemble a small program with the builder, profile it,
-// generate skeletons, and compare the baseline core against DLA and
-// R3-DLA — the minimal end-to-end tour of the public API.
+// Quickstart: assemble a small program with the builder, prepare it
+// (profile + skeleton generation), and compare the baseline core against
+// DLA and R3-DLA through the Lab client — the minimal end-to-end tour of
+// the public API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"r3dla"
 	"r3dla/internal/isa"
@@ -55,28 +58,36 @@ func makeProgram() (*r3dla.Program, func(*r3dla.Memory)) {
 }
 
 func main() {
+	ctx := context.Background()
 	prog, setup := makeProgram()
 
-	fmt.Println("profiling (training run)...")
-	prof := r3dla.Profile(prog, setup, 80_000)
-	set := r3dla.Skeletons(prog, prof)
-	fmt.Printf("skeleton: %s\n\n", set.Baseline.Describe())
+	fmt.Println("preparing (training run + skeleton generation)...")
+	p := r3dla.PrepareProgram("quickstart", prog, setup, 80_000)
+	l, err := r3dla.NewLab(r3dla.WithBudget(150_000))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	const budget = 150_000
-	run := func(name string, opt r3dla.SystemOptions) float64 {
-		sys := r3dla.NewSystem(prog, setup, set, prof, opt)
-		r := sys.Run(budget)
-		fmt.Printf("%-8s IPC %.3f", name, r.IPC())
+	run := func(name string, preset r3dla.Preset) float64 {
+		cfg, err := r3dla.NewConfig(preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := l.RunPrepared(ctx, p, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s IPC %.3f", name, r.IPC)
 		if r.LT != nil {
 			fmt.Printf("   (LT executed %d insts, %d reboots)", r.LT.Committed, r.Reboots)
 		}
 		fmt.Println()
-		return r.IPC()
+		return r.IPC
 	}
 
-	base := run("baseline", r3dla.BaselineOptions())
-	dla := run("DLA", r3dla.DLAOptions())
-	r3 := run("R3-DLA", r3dla.R3Options())
+	base := run("baseline", r3dla.Baseline)
+	dla := run("DLA", r3dla.DLA)
+	r3 := run("R3-DLA", r3dla.R3)
 
 	fmt.Printf("\nspeedup: DLA %.2fx, R3-DLA %.2fx\n", dla/base, r3/base)
 }

@@ -5,38 +5,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"r3dla"
-	"r3dla/internal/exp"
-	"r3dla/internal/pipeline"
 )
 
 func main() {
 	const budget = 100_000
-	ctx := exp.NewContext(budget)
+	ctx := context.Background()
+	l, err := r3dla.NewLab(r3dla.WithBudget(budget))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	half := pipeline.HalfConfig()
-	wide := pipeline.WideConfig()
+	half := r3dla.HalfCoreConfig()
+	wide := r3dla.WideCoreConfig()
+	dlaCfg := r3dla.MustConfig(r3dla.DLA, r3dla.WithCores(half))
+	r3Cfg := r3dla.MustConfig(r3dla.R3, r3dla.WithCores(half))
 
 	fmt.Printf("%-8s %8s %8s %8s   (normalized to half-core)\n", "bench", "FC", "DLA", "R3-DLA")
 	for _, name := range []string{"mcf", "libq", "bfs", "md5", "cg"} {
-		p := ctx.Prep(name)
+		p, err := l.Prepare(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		hc, _ := exp.BaselineMetricsOn(p, half, budget, true)
-		fc, _ := exp.BaselineMetricsOn(p, wide, budget, true)
+		hc, err := l.CoreIPC(ctx, p, half, budget, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fc, err := l.CoreIPC(ctx, p, wide, budget, true)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		dlaOpt := r3dla.DLAOptions()
-		dlaOpt.CoreCfg = &half
-		dla := ctx.RunDLA(p, dlaOpt)
+		dla, err := l.RunPrepared(ctx, p, dlaCfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r3, err := l.RunPrepared(ctx, p, r3Cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		r3Opt := r3dla.R3Options()
-		r3Opt.CoreCfg = &half
-		r3 := ctx.RunDLA(p, r3Opt)
-
-		base := hc.IPC()
 		fmt.Printf("%-8s %7.2fx %7.2fx %7.2fx\n",
-			name, fc.IPC()/base, dla.IPC()/base, r3.IPC()/base)
+			name, fc/hc, dla.IPC/hc, r3.IPC/hc)
 	}
 	fmt.Println("\nFC = whole wide core on one thread; DLA/R3-DLA = the same core")
 	fmt.Println("split into two half-cores running a look-ahead pair.")

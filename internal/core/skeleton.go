@@ -56,6 +56,10 @@ const (
 	minBranchExec   = 32    // ignore bias of barely-executed branches
 )
 
+// NumVersions is the size of the recycle pool Generate emits (versions
+// a–f of Sec. III-E1); Options.FixedVersion must lie in [0, NumVersions).
+const NumVersions = 6
+
 // Generate builds the skeleton set for prog using training statistics.
 func Generate(prog *isa.Program, prof *Profile) *Set {
 	g := newGenerator(prog, prof)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"r3dla/internal/branch"
@@ -22,9 +23,13 @@ type Options struct {
 	WithBOP    bool // BOP at L2 of both cores
 	WithStride bool // tuned stride prefetcher at MT L1 (fig12 comparator)
 
-	// FixedVersion, when >= 0 and recycling is off, runs LT on that
-	// recycle-pool version instead of the baseline skeleton.
-	FixedVersion int
+	// FixedVersion, when HasFixedVersion is set and recycling is off,
+	// runs LT on that recycle-pool version instead of the baseline
+	// skeleton. The explicit flag replaces the old "0 means unset"
+	// convention, under which version 0 (the reduced skeleton) was
+	// unselectable.
+	FixedVersion    int
+	HasFixedVersion bool
 
 	BOQSize    int    // default 512
 	FQSize     int    // default 128 (prefetch + indirect hints)
@@ -58,9 +63,6 @@ func (o *Options) fill() {
 	}
 	if o.RebootCost == 0 {
 		o.RebootCost = 64
-	}
-	if o.FixedVersion == 0 {
-		o.FixedVersion = -1
 	}
 }
 
@@ -275,7 +277,7 @@ func (s *System) pickInitialSkeleton() *Skeleton {
 	if s.opt.Recycle || s.opt.StaticLCT != nil {
 		return s.set.Versions[0]
 	}
-	if s.opt.FixedVersion >= 0 && s.opt.FixedVersion < len(s.set.Versions) {
+	if s.opt.HasFixedVersion && s.opt.FixedVersion >= 0 && s.opt.FixedVersion < len(s.set.Versions) {
 		return s.set.Versions[s.opt.FixedVersion]
 	}
 	if s.opt.T1 {
@@ -519,12 +521,30 @@ func (s *System) doReboot() {
 // Run executes until the MT commits budget instructions (or the program
 // ends) and returns the results.
 func (s *System) Run(budget uint64) *Results {
+	r, _ := s.RunContext(nil, budget)
+	return r
+}
+
+// cancelCheckMask spaces out RunContext's cancellation polls: ctx.Err is
+// consulted once every 4096 cycles, cheap enough to be invisible in the
+// simulation hot loop while bounding cancellation latency to microseconds.
+const cancelCheckMask = 4096 - 1
+
+// RunContext is Run with cooperative cancellation: ctx (when non-nil) is
+// polled periodically, and a canceled run stops early, returning the
+// partial results alongside ctx's error. A nil ctx never cancels.
+func (s *System) RunContext(ctx context.Context, budget uint64) (*Results, error) {
 	guard := budget*3000 + 3_000_000
 	ltGate := 0
 	if s.lt != nil {
 		ltGate = s.lt.Cfg.CommitWidth
 	}
 	for !s.mt.Done() && (budget == 0 || s.mt.M.Committed < budget) {
+		if ctx != nil && s.now&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.Results(), err
+			}
+		}
 		if s.lt != nil {
 			switch {
 			case s.rebootArmed && s.now >= s.rebootAt:
@@ -554,7 +574,7 @@ func (s *System) Run(budget uint64) *Results {
 			break
 		}
 	}
-	return s.Results()
+	return s.Results(), nil
 }
 
 // MTLoadHook returns the MT core's current load-access hook (for harness

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -207,14 +208,61 @@ func TestRebootCostMatters(t *testing.T) {
 
 func TestFixedVersionSelection(t *testing.T) {
 	f := getFixture()
-	for v := 0; v < 6; v++ {
-		opt := Options{WithBOP: true, FixedVersion: v}
-		if v == 0 {
-			opt.FixedVersion = -1 // exercise baseline path too
-		}
+	for v := 0; v < NumVersions; v++ {
+		opt := Options{WithBOP: true, FixedVersion: v, HasFixedVersion: true}
 		r := f.run(opt, testBudget/4)
 		if r.MT.Deadlocked {
 			t.Fatalf("version %d deadlocked", v)
 		}
+	}
+	// Unset fixed version exercises the baseline-skeleton path.
+	r := f.run(Options{WithBOP: true}, testBudget/4)
+	if r.MT.Deadlocked {
+		t.Fatal("baseline skeleton deadlocked")
+	}
+}
+
+// TestFixedVersionZeroSelectsReducedSkeleton is the regression test for
+// the old sentinel bug: fill() rewrote FixedVersion 0 to -1, so version 0
+// (the reduced skeleton) silently ran the baseline skeleton instead. With
+// the explicit HasFixedVersion flag, version 0 must be reachable — the
+// reduced skeleton strips T1-covered strided loads, so its LT commits
+// strictly fewer instructions than the baseline skeleton's.
+func TestFixedVersionZeroSelectsReducedSkeleton(t *testing.T) {
+	f := getFixture()
+	base := f.run(DLAOptions(), testBudget/2)
+	opt := DLAOptions()
+	opt.FixedVersion, opt.HasFixedVersion = 0, true
+	v0 := f.run(opt, testBudget/2)
+	if v0.LT == nil || base.LT == nil {
+		t.Fatal("missing LT metrics")
+	}
+	if v0.LT.Committed == base.LT.Committed && v0.LTSkipped == base.LTSkipped {
+		t.Fatalf("FixedVersion 0 ran the baseline skeleton (LT committed %d, skipped %d)",
+			v0.LT.Committed, v0.LTSkipped)
+	}
+	if v0.LT.Committed >= base.LT.Committed {
+		t.Fatalf("version 0 (reduced) LT committed %d >= baseline skeleton's %d",
+			v0.LT.Committed, base.LT.Committed)
+	}
+}
+
+// TestRunContextCancel asserts a canceled context stops a run early and
+// surfaces the context's error, while a nil/background context runs to
+// completion.
+func TestRunContextCancel(t *testing.T) {
+	prog, setup, prof, set := mixProfile()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := NewSystem(prog, setup, set, prof, DLAOptions())
+	r, err := sys.RunContext(ctx, testBudget)
+	if err == nil {
+		t.Fatal("RunContext returned nil error on canceled context")
+	}
+	if r == nil {
+		t.Fatal("RunContext returned nil results on cancellation")
+	}
+	if r.MT.Committed >= testBudget {
+		t.Fatalf("canceled run completed the full budget (%d)", r.MT.Committed)
 	}
 }

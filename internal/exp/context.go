@@ -87,27 +87,65 @@ type sharedState struct {
 	prepCount map[string]int // times preparation actually executed, per workload
 }
 
-// entry is a panic-safe singleflight cell: the first caller computes
-// while later callers for the same key block on the mutex. Unlike
+// entry is a panic-safe singleflight cell: the first caller (the
+// leader) computes while later callers for the same key wait. Unlike
 // sync.Once, a panicking computation (cancellation aborts runs by
 // panicking out of the pool) leaves the entry unfilled, so reusing the
 // Context after a canceled run recomputes instead of returning nil.
 type entry[T any] struct {
-	mu   sync.Mutex
-	done bool
-	val  T
+	mu      sync.Mutex
+	running bool
+	done    bool
+	val     T
+	wake    chan struct{} // closed when the current leader finishes (either way)
 }
 
-// do returns the memoized value, computing it via f if needed. f runs at
-// most once concurrently; on panic the entry stays empty for retry.
-func (e *entry[T]) do(f func() T) T {
+// do returns the memoized value, computing it via f if needed. f runs
+// at most once concurrently; on panic the entry stays empty for retry
+// (a waiter takes over as the new leader). Waiters are interruptible:
+// when cancel fires they call onCancel (which must not return normally
+// — it panics the engine's cancellation sentinel) instead of blocking
+// for the leader's whole simulation. A nil cancel channel never fires.
+func (e *entry[T]) do(cancel <-chan struct{}, onCancel func(), f func() T) T {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.done {
-		e.val = f()
-		e.done = true
+	for {
+		if e.done {
+			v := e.val
+			e.mu.Unlock()
+			return v
+		}
+		if !e.running {
+			break // become the leader
+		}
+		wake := e.wake
+		e.mu.Unlock()
+		select {
+		case <-wake:
+		case <-cancel:
+			onCancel()
+		}
+		e.mu.Lock()
 	}
-	return e.val
+	e.running = true
+	wake := make(chan struct{})
+	e.wake = wake
+	e.mu.Unlock()
+
+	ok := false
+	var v T
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		if ok {
+			e.val, e.done = v, true
+		}
+		e.wake = nil
+		e.mu.Unlock()
+		close(wake)
+	}()
+	v = f()
+	ok = true
+	return v
 }
 
 type prepEntry = entry[*Prepared]
@@ -138,6 +176,16 @@ func (c *Context) WithCancel(ctx context.Context) *Context {
 	return &cc
 }
 
+// WithProgress returns a shallow copy of c whose operations report events
+// to f (replacing any previous observer). The worker pool and memoization
+// state stay shared with c, so per-request observers (the service's NDJSON
+// streams) still hit the shared caches.
+func (c *Context) WithProgress(f func(Event)) *Context {
+	cc := *c
+	cc.Progress = f
+	return &cc
+}
+
 func (c *Context) initSem() {
 	n := c.Jobs
 	if n <= 0 {
@@ -150,12 +198,31 @@ func (c *Context) initSem() {
 // cancellation fires; Run recovers it into the experiment's error.
 type canceled struct{ err error }
 
+// CancelError unwraps the panic value the engine uses to abort canceled
+// work. Callers layered on top of the Context (the lab client) recover
+// it back into an ordinary error; any other panic value returns false.
+func CancelError(r any) (error, bool) {
+	if cp, ok := r.(canceled); ok {
+		return cp.err, true
+	}
+	return nil, false
+}
+
 func (c *Context) checkCanceled() {
 	if c.ctx != nil {
 		if err := c.ctx.Err(); err != nil {
 			panic(canceled{err})
 		}
 	}
+}
+
+// cancelCh returns the channel singleflight waiters select on; nil (a
+// never-firing channel) when the Context has no cancellation.
+func (c *Context) cancelCh() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
 }
 
 // Do runs f on the worker pool: it blocks for a slot (respecting Jobs),
@@ -234,7 +301,14 @@ func (c *Context) emit(ev Event) {
 // other's runs. Concurrent callers with the same key block on a single
 // simulation (singleflight).
 func (c *Context) RunCached(key string, p *Prepared, opt core.Options) *core.Results {
-	k := p.W.Name + "/" + key
+	return c.RunCachedAt(key, p, opt, c.Budget)
+}
+
+// RunCachedAt is RunCached at an explicit budget (the service lets each
+// request pick its own); the budget is folded into the memoization key so
+// different budgets never alias.
+func (c *Context) RunCachedAt(key string, p *Prepared, opt core.Options, budget uint64) *core.Results {
+	k := fmt.Sprintf("%s/%s@%d", p.W.Name, key, budget)
 	c.state.mu.Lock()
 	e, ok := c.state.runs[k]
 	if !ok {
@@ -242,9 +316,9 @@ func (c *Context) RunCached(key string, p *Prepared, opt core.Options) *core.Res
 		c.state.runs[k] = e
 	}
 	c.state.mu.Unlock()
-	r := e.do(func() *core.Results {
+	r := e.do(c.cancelCh(), c.checkCanceled, func() *core.Results {
 		start := time.Now()
-		res := c.RunDLA(p, opt)
+		res := c.RunDLAAt(p, opt, budget)
 		c.emit(Event{Stage: "run", Workload: p.W.Name, Key: key, Elapsed: time.Since(start)})
 		return res
 	})
@@ -274,7 +348,7 @@ func (c *Context) Prep(name string) *Prepared {
 		c.state.prepared[name] = e
 	}
 	c.state.mu.Unlock()
-	p := e.do(func() *Prepared {
+	p := e.do(c.cancelCh(), c.checkCanceled, func() *Prepared {
 		start := time.Now()
 		var val *Prepared
 		c.Do(func() { val = c.prep(name) })
@@ -310,12 +384,19 @@ func (c *Context) PrepCount(name string) int {
 }
 
 // RunDLA runs one DLA/R3 configuration on a prepared workload, on the
-// worker pool. The recycle trial window scales with the budget (each
-// version needs to run well past the BOQ depth, but six trials must not
-// eat a short run).
+// worker pool.
 func (c *Context) RunDLA(p *Prepared, opt core.Options) *core.Results {
+	return c.RunDLAAt(p, opt, c.Budget)
+}
+
+// RunDLAAt is RunDLA at an explicit budget. The recycle trial window
+// scales with the budget (each version needs to run well past the BOQ
+// depth, but six trials must not eat a short run). Runs poll the
+// Context's cancellation cooperatively, so a canceled Context aborts
+// even mid-simulation.
+func (c *Context) RunDLAAt(p *Prepared, opt core.Options, budget uint64) *core.Results {
 	if opt.TrialInsts == 0 {
-		t := c.Budget / 20
+		t := budget / 20
 		if t < 1500 {
 			t = 1500
 		}
@@ -327,7 +408,11 @@ func (c *Context) RunDLA(p *Prepared, opt core.Options) *core.Results {
 	var r *core.Results
 	c.Do(func() {
 		sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, opt)
-		r = sys.Run(c.Budget)
+		res, err := sys.RunContext(c.ctx, budget)
+		if err != nil {
+			panic(canceled{err})
+		}
+		r = res
 	})
 	return r
 }

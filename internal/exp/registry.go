@@ -1,9 +1,7 @@
 package exp
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 )
 
 // Experiment is one regenerable artifact of the paper. Run returns the
@@ -53,11 +51,3 @@ func IDs() []string {
 	return out
 }
 
-// List renders the registry as help text.
-func List() string {
-	var b strings.Builder
-	for _, e := range Registry {
-		fmt.Fprintf(&b, "  %-8s %s\n", e.ID, e.Title)
-	}
-	return b.String()
-}

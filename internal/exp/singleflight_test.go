@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSingleflightWaiterCancel pins the entry contract the service
+// depends on: a waiter whose cancellation fires while another caller's
+// computation is in flight aborts immediately (via onCancel) instead of
+// blocking for the leader's whole run; the leader is unaffected, and its
+// value is served to later callers.
+func TestSingleflightWaiterCancel(t *testing.T) {
+	e := &entry[int]{}
+	block := make(chan struct{})
+	leaderStarted := make(chan struct{})
+	leaderDone := make(chan int, 1)
+	go func() {
+		leaderDone <- e.do(nil, nil, func() int {
+			close(leaderStarted)
+			<-block
+			return 42
+		})
+	}()
+	<-leaderStarted
+
+	// A canceled waiter must bail out through onCancel promptly.
+	canceledCh := make(chan struct{})
+	close(canceledCh)
+	type sentinel struct{}
+	aborted := make(chan struct{})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(sentinel); ok {
+					close(aborted)
+				}
+			}
+		}()
+		e.do(canceledCh, func() { panic(sentinel{}) }, func() int {
+			t.Error("canceled waiter became the leader")
+			return 0
+		})
+	}()
+	select {
+	case <-aborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter stayed blocked behind the leader")
+	}
+
+	// The leader completes normally and fills the entry for everyone else.
+	close(block)
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader got %d", v)
+	}
+	if v := e.do(nil, nil, func() int { t.Error("recomputed a filled entry"); return 0 }); v != 42 {
+		t.Fatalf("follower got %d", v)
+	}
+}
+
+// TestSingleflightLeaderPanicRetries pins the retry contract: a leader
+// that panics (cancellation) leaves the entry empty, a waiter takes over
+// as the new leader, and the value it computes is memoized.
+func TestSingleflightLeaderPanicRetries(t *testing.T) {
+	e := &entry[int]{}
+	block := make(chan struct{})
+	leaderStarted := make(chan struct{})
+	leaderPanicked := make(chan struct{})
+	go func() {
+		defer func() {
+			recover()
+			close(leaderPanicked)
+		}()
+		e.do(nil, nil, func() int {
+			close(leaderStarted)
+			<-block
+			panic(canceled{nil})
+		})
+	}()
+	<-leaderStarted
+
+	followerDone := make(chan int, 1)
+	go func() {
+		followerDone <- e.do(nil, nil, func() int { return 7 })
+	}()
+	close(block)
+	<-leaderPanicked
+	select {
+	case v := <-followerDone:
+		if v != 7 {
+			t.Fatalf("follower retry got %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never took over after the leader panicked")
+	}
+	if v := e.do(nil, nil, func() int { t.Error("recomputed"); return 0 }); v != 7 {
+		t.Fatalf("entry not filled by the retry: %d", v)
+	}
+}

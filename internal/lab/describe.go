@@ -1,0 +1,127 @@
+package lab
+
+import (
+	"fmt"
+
+	"r3dla/internal/core"
+	"r3dla/internal/exp"
+	"r3dla/internal/isa"
+	"r3dla/internal/workloads"
+)
+
+// WorkloadStats characterizes one benchmark under a training run:
+// dynamic instruction mix, cache-miss profile, and how much of its load
+// stream is strided (the T1-coverable fraction).
+type WorkloadStats struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+
+	LoadPct   float64 `json:"load_pct"`
+	StorePct  float64 `json:"store_pct"`
+	BranchPct float64 `json:"branch_pct"`
+
+	L1MPKI       float64 `json:"l1_mpki"`
+	L2MPKI       float64 `json:"l2_mpki"`
+	StridedLoads int     `json:"strided_loads"` // static load PCs with a stable stride
+}
+
+// Characterize profiles a named workload on the training input and
+// summarizes what it stresses (the wlinfo view).
+func Characterize(name string, budget uint64) (*WorkloadStats, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, name)
+	}
+	prog, setup := w.Build(exp.TrainSeed)
+	prof := core.Collect(prog, setup, budget)
+
+	var loads, stores, branches, total uint64
+	var l1m, l2m uint64
+	strided := 0
+	for pc := range prog.Insts {
+		st := &prof.PCs[pc]
+		total += st.Exec
+		op := prog.Insts[pc].Op
+		switch {
+		case op.IsLoad():
+			loads += st.Exec
+			l1m += st.L1Miss
+			l2m += st.L2Miss
+			if st.Strided() {
+				strided++
+			}
+		case op.IsStore():
+			stores += st.Exec
+		case op.Class() == isa.ClassBranch:
+			branches += st.Exec
+		}
+	}
+	out := &WorkloadStats{Name: w.Name, Suite: w.Suite, StridedLoads: strided}
+	if total > 0 {
+		pct := func(x uint64) float64 { return float64(x) / float64(total) * 100 }
+		out.LoadPct, out.StorePct, out.BranchPct = pct(loads), pct(stores), pct(branches)
+		out.L1MPKI = float64(l1m) / float64(total) * 1000
+		out.L2MPKI = float64(l2m) / float64(total) * 1000
+	}
+	return out, nil
+}
+
+// SkeletonInfo describes the skeleton set generated for one workload:
+// per-version sizes, T1 marks, and (optionally) the masked listing of
+// the baseline skeleton (the skelgen view).
+type SkeletonInfo struct {
+	Workload    string   `json:"workload"`
+	Suite       string   `json:"suite"`
+	StaticInsts int      `json:"static_insts"`
+	Baseline    string   `json:"baseline"`
+	Versions    []string `json:"versions"` // recycle pool a–f
+	SBitMarks   int      `json:"s_bit_marks"`
+	Listing     []string `json:"listing,omitempty"`
+}
+
+// DescribeSkeletons profiles a named workload on the training input,
+// generates its skeleton set, and summarizes it. With listing, each
+// static instruction is rendered with its include mask, S-bit and forced
+// direction.
+func DescribeSkeletons(name string, trainBudget uint64, listing bool) (*SkeletonInfo, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, name)
+	}
+	prog, setup := w.Build(exp.TrainSeed)
+	prof := core.Collect(prog, setup, trainBudget)
+	set := core.Generate(prog, prof)
+
+	info := &SkeletonInfo{
+		Workload:    w.Name,
+		Suite:       w.Suite,
+		StaticInsts: len(prog.Insts),
+		Baseline:    set.Baseline.Describe(),
+	}
+	for _, v := range set.Versions {
+		info.Versions = append(info.Versions, v.Describe())
+	}
+	for _, s := range set.SBits {
+		if s {
+			info.SBitMarks++
+		}
+	}
+	if listing {
+		for pc, in := range prog.Insts {
+			mark := " "
+			if set.Baseline.Include[pc] {
+				mark = "*"
+			}
+			s := ""
+			if set.SBits[pc] {
+				s = " [S]"
+			}
+			f := ""
+			if t, ok := set.Baseline.Forced(pc); ok {
+				f = fmt.Sprintf(" [forced %v]", t)
+			}
+			info.Listing = append(info.Listing, fmt.Sprintf("%4d  %s  %v%s%s", pc, mark, in.String(), s, f))
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,300 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPresetConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		p    Preset
+		dis  bool
+		r3on bool
+	}{
+		{Baseline, true, false},
+		{DLA, false, false},
+		{R3, false, true},
+	} {
+		cfg, err := NewConfig(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.p.Name(), err)
+		}
+		o := cfg.SystemOptions()
+		if o.Disable != tc.dis {
+			t.Errorf("%s: Disable = %t", tc.p.Name(), o.Disable)
+		}
+		if (o.T1 && o.ValueReuse && o.FetchBuffer && o.Recycle) != tc.r3on {
+			t.Errorf("%s: R3 flags wrong: %+v", tc.p.Name(), o)
+		}
+		if !o.WithBOP {
+			t.Errorf("%s: presets include BOP", tc.p.Name())
+		}
+	}
+	if _, ok := PresetByName("DLA"); !ok {
+		t.Error("preset lookup should be case-insensitive")
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opts []Option
+	}{
+		{"negative BOQ", []Option{WithBOQ(-1)}},
+		{"zero BOQ", []Option{WithBOQ(0)}},
+		{"tiny FQ", []Option{WithFQ(3)}},
+		{"zero VQ", []Option{WithVQ(0)}},
+		{"zero reboot", []Option{WithRebootCost(0)}},
+		{"zero trials", []Option{WithTrials(0)}},
+		{"version too high", []Option{WithVersion(6)}},
+		{"version negative", []Option{WithVersion(-1)}},
+		{"version under recycle", []Option{WithRecycle(true), WithVersion(1)}},
+		{"empty LCT", []Option{WithStaticLCT(nil)}},
+		{"LCT bad version", []Option{WithStaticLCT(map[int]int{4: 9})}},
+	}
+	for _, tc := range bad {
+		if _, err := NewConfig(DLA, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error %v not tagged ErrInvalid", tc.name, err)
+		}
+	}
+	if _, err := NewConfig(Preset{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero preset: %v", err)
+	}
+
+	cfg, err := NewConfig(DLA, WithT1(true), WithBOQ(1024), WithVersion(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cfg.SystemOptions()
+	if !o.T1 || o.BOQSize != 1024 || !o.HasFixedVersion || o.FixedVersion != 0 {
+		t.Fatalf("options not applied: %+v", o)
+	}
+}
+
+// TestWithVersionZeroIsExplicit is the lab-level face of the FixedVersion
+// sentinel fix: version 0 must produce a different canonical key (and
+// thus a different cached run) than "no fixed version".
+func TestWithVersionZeroIsExplicit(t *testing.T) {
+	plain := MustConfig(DLA)
+	v0 := MustConfig(DLA, WithVersion(0))
+	if plain.Key() == v0.Key() {
+		t.Fatalf("version 0 aliases the unversioned config: %s", plain.Key())
+	}
+	if !strings.Contains(v0.Key(), "v=0") {
+		t.Fatalf("version 0 missing from key: %s", v0.Key())
+	}
+}
+
+func TestConfigSpecRoundtrip(t *testing.T) {
+	on, sz, v := true, 1024, 2
+	spec := ConfigSpec{Preset: "dla", T1: &on, BOQSize: &sz, Version: &v}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cfg.SystemOptions()
+	if !o.T1 || o.BOQSize != 1024 || o.FixedVersion != 2 || !o.HasFixedVersion {
+		t.Fatalf("spec not applied: %+v", o)
+	}
+
+	if _, err := (ConfigSpec{Preset: "bogus"}).Config(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bogus preset: %v", err)
+	}
+	neg := -3
+	if _, err := (ConfigSpec{Preset: "r3", BOQSize: &neg}).Config(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative BOQ via spec: %v", err)
+	}
+	// Empty preset means baseline.
+	cfg, err = ConfigSpec{}.Config()
+	if err != nil || cfg.Preset() != "baseline" {
+		t.Fatalf("empty spec: %v / %q", err, cfg.Preset())
+	}
+}
+
+// TestClientOptionOrder asserts WithBudget and WithTrainBudget compose
+// order-independently: an explicit training budget survives a later
+// WithBudget.
+func TestClientOptionOrder(t *testing.T) {
+	a, err := New(WithTrainBudget(60_000), WithBudget(150_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithBudget(150_000), WithTrainBudget(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta, tb := a.c.TrainBudget, b.c.TrainBudget; ta != 60_000 || tb != 60_000 {
+		t.Fatalf("train budgets order-dependent: %d vs %d, want 60000", ta, tb)
+	}
+	// Without an explicit training budget, WithBudget defaults it to half.
+	c, err := New(WithBudget(150_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.c.TrainBudget != 75_000 {
+		t.Fatalf("default train budget %d, want 75000", c.c.TrainBudget)
+	}
+}
+
+func TestLabRunAndCache(t *testing.T) {
+	l, err := New(WithBudget(3_000), WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	r, err := l.Run(ctx, RunRequest{Workload: "mcf", Config: ConfigSpec{Preset: "dla"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.Committed < 3_000 || r.LT == nil {
+		t.Fatalf("implausible result: %+v", r)
+	}
+	if r.Budget != 3_000 {
+		t.Fatalf("budget %d, want lab default 3000", r.Budget)
+	}
+
+	// Identical request: served from cache, identical values.
+	r2, err := l.Run(ctx, RunRequest{Workload: "mcf", Config: ConfigSpec{Preset: "dla"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.IPC != r.IPC || r2.Cycles != r.Cycles || r2.Reboots != r.Reboots {
+		t.Fatalf("cached rerun diverged: %+v vs %+v", r2, r)
+	}
+	if n := l.PrepCount("mcf"); n != 1 {
+		t.Fatalf("mcf prepared %d times, want 1", n)
+	}
+
+	// A budget override is a distinct cache entry with a longer run.
+	r3, err := l.Run(ctx, RunRequest{Workload: "mcf", Config: ConfigSpec{Preset: "dla"}, Budget: 6_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Committed < 6_000 || r3.Budget != 6_000 {
+		t.Fatalf("budget override ignored: %+v", r3)
+	}
+	if n := l.PrepCount("mcf"); n != 1 {
+		t.Fatalf("budget override re-prepared: %d", n)
+	}
+
+	if _, err := l.Run(ctx, RunRequest{Workload: "nope", Config: ConfigSpec{Preset: "dla"}}); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown workload: %v", err)
+	}
+}
+
+// TestLabRunVersionZero runs recycle-pool version 0 end-to-end through
+// the request path and checks it does not silently fall back to the
+// baseline skeleton (the old sentinel bug's observable symptom).
+func TestLabRunVersionZero(t *testing.T) {
+	l, err := New(WithBudget(4_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	v := 0
+	v0, err := l.Run(ctx, RunRequest{Workload: "libq", Config: ConfigSpec{Preset: "dla", Version: &v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := l.Run(ctx, RunRequest{Workload: "libq", Config: ConfigSpec{Preset: "dla"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.LT == nil || plain.LT == nil {
+		t.Fatal("missing LT stats")
+	}
+	if v0.LT.Committed >= plain.LT.Committed {
+		t.Fatalf("version 0 (reduced skeleton) LT committed %d >= baseline skeleton's %d",
+			v0.LT.Committed, plain.LT.Committed)
+	}
+}
+
+// TestLabConcurrentSingleflight hammers the same request from many
+// goroutines: preparation and the simulation itself must each execute
+// once.
+func TestLabConcurrentSingleflight(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	l, err := New(WithBudget(3_000), WithJobs(4), WithProgress(func(ev Event) {
+		if ev.Stage == "run" {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = l.Run(context.Background(), RunRequest{Workload: "bzip", Config: ConfigSpec{Preset: "r3"}})
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if n := l.PrepCount("bzip"); n != 1 {
+		t.Fatalf("bzip prepared %d times, want 1", n)
+	}
+	if runs != 1 {
+		t.Fatalf("simulation ran %d times, want 1", runs)
+	}
+}
+
+// TestLabCancellation asserts a canceled context aborts a run with the
+// context's error, and that the lab stays usable afterwards.
+func TestLabCancellation(t *testing.T) {
+	l, err := New(WithBudget(3_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Run(ctx, RunRequest{Workload: "mcf", Config: ConfigSpec{Preset: "dla"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: %v", err)
+	}
+	if _, err := l.Run(context.Background(), RunRequest{Workload: "mcf", Config: ConfigSpec{Preset: "dla"}}); err != nil {
+		t.Fatalf("lab poisoned after cancellation: %v", err)
+	}
+}
+
+func TestCharacterizeAndDescribe(t *testing.T) {
+	st, err := Characterize("mcf", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoadPct <= 0 || st.Name != "mcf" {
+		t.Fatalf("empty characterization: %+v", st)
+	}
+	if _, err := Characterize("nope", 10_000); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown workload: %v", err)
+	}
+
+	info, err := DescribeSkeletons("mcf", 10_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 6 || info.Baseline == "" {
+		t.Fatalf("skeleton info incomplete: %+v", info)
+	}
+	if len(info.Listing) != info.StaticInsts {
+		t.Fatalf("listing has %d lines for %d static insts", len(info.Listing), info.StaticInsts)
+	}
+}

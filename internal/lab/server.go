@@ -1,0 +1,318 @@
+package lab
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r3dla/internal/workloads"
+)
+
+// StatusClientClosedRequest is the nginx-style status recorded when the
+// client goes away while its simulation is in flight; the response can
+// no longer be delivered, but the server accounts for the cleanup.
+const StatusClientClosedRequest = 499
+
+// Server is the r3dlad HTTP handler: a JSON/NDJSON API over one shared
+// Lab, so every request hits the same singleflight caches and the same
+// bounded worker pool (the server-wide job semaphore).
+//
+//	GET  /v1/healthz              liveness + request counters
+//	GET  /v1/experiments          the regenerable artifacts
+//	GET  /v1/workloads            the evaluation suite
+//	POST /v1/experiments/{id}     regenerate one artifact (?stream=1 for NDJSON progress)
+//	POST /v1/runs                 one simulation: RunRequest -> RunResult (?stream=1 likewise)
+type Server struct {
+	lab   *Lab
+	mux   *http.ServeMux
+	start time.Time
+
+	maxBudget uint64        // largest per-request budget accepted (0 = unlimited)
+	admit     chan struct{} // request admission semaphore (nil = unlimited)
+
+	active    atomic.Int64 // simulation requests in flight
+	completed atomic.Int64 // simulation requests answered 200
+	canceled  atomic.Int64 // simulation requests whose client went away
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxBudget caps the per-request budget override (0 = unlimited).
+func WithMaxBudget(n uint64) ServerOption {
+	return func(s *Server) { s.maxBudget = n }
+}
+
+// WithMaxInflight bounds how many simulation requests are admitted
+// concurrently; excess requests get 503 immediately instead of queueing
+// (<= 0 = unlimited). This bounds admission; actual compute parallelism
+// is bounded by the Lab's worker pool either way.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.admit = make(chan struct{}, n)
+		}
+	}
+}
+
+// NewServer builds the service handler over a shared Lab.
+func NewServer(l *Lab, opts ...ServerOption) *Server {
+	s := &Server{lab: l, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ------------------------------------------------------------- plumbing
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errorStatus maps a lab error to an HTTP status.
+func errorStatus(ctx context.Context, err error) int {
+	switch {
+	case ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrUnknownWorkload), errors.Is(err, ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// admitRequest reserves an admission slot (when bounded) and marks the
+// request active; the returned release undoes both.
+func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
+	if s.admit != nil {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry later"))
+			return nil, false
+		}
+	}
+	s.active.Add(1)
+	return func() {
+		s.active.Add(-1)
+		if s.admit != nil {
+			<-s.admit
+		}
+	}, true
+}
+
+// finish classifies a request's outcome into the server counters and
+// writes the error response (when the client is still there to read it).
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, err error) {
+	if err == nil {
+		s.completed.Add(1)
+		return
+	}
+	status := errorStatus(r.Context(), err)
+	if status == StatusClientClosedRequest {
+		s.canceled.Add(1)
+		// The client is gone; the status line is for the access log only.
+		w.WriteHeader(StatusClientClosedRequest)
+		return
+	}
+	writeError(w, status, err)
+}
+
+// ------------------------------------------------------------- handlers
+
+// Health is the healthz response body.
+type Health struct {
+	Status      string  `json:"status"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	Budget      uint64  `json:"budget"`
+	Active      int64   `json:"active"`
+	Completed   int64   `json:"completed"`
+	Canceled    int64   `json:"canceled"`
+	Experiments int     `json:"experiments"`
+	Workloads   int     `json:"workloads"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:      "ok",
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Budget:      s.lab.Budget(),
+		Active:      s.active.Load(),
+		Completed:   s.completed.Load(),
+		Canceled:    s.canceled.Load(),
+		Experiments: len(ListExperiments()),
+		Workloads:   len(ListWorkloads()),
+	})
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListExperiments())
+}
+
+func (s *Server) handleListWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListWorkloads())
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := ExperimentByID(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownExperiment, id))
+		return
+	}
+	release, ok := s.admitRequest(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	if r.URL.Query().Get("stream") != "" {
+		s.streamRequest(w, r, func(l *Lab) (any, error) {
+			rep, err := l.Experiment(r.Context(), ExperimentRequest{ID: id})
+			return rep, err
+		})
+		return
+	}
+
+	rep, err := s.lab.Experiment(r.Context(), ExperimentRequest{ID: id})
+	if err != nil {
+		s.finish(w, r, err)
+		return
+	}
+	// The report is computed; count it completed like handleRun does,
+	// whether or not the client sticks around for the body. The body is
+	// exactly the engine's WriteJSON rendering — byte-identical to
+	// `r3dla -exp <id> -format json` at the same budget.
+	s.completed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	rep.WriteJSON(w)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrInvalid, err))
+		return
+	}
+	if s.maxBudget > 0 && req.Budget > s.maxBudget {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: budget %d exceeds server cap %d", ErrInvalid, req.Budget, s.maxBudget))
+		return
+	}
+	// Resolve the request up front so validation failures are proper 400s
+	// and unknown workloads 404s — in particular before a ?stream=1
+	// response commits to status 200.
+	if _, err := req.Config.Config(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if workloads.ByName(req.Workload) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownWorkload, req.Workload))
+		return
+	}
+	release, ok := s.admitRequest(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	if r.URL.Query().Get("stream") != "" {
+		s.streamRequest(w, r, func(l *Lab) (any, error) {
+			res, err := l.Run(r.Context(), req)
+			return res, err
+		})
+		return
+	}
+
+	res, err := s.lab.Run(r.Context(), req)
+	if err != nil {
+		s.finish(w, r, err)
+		return
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ------------------------------------------------------------ streaming
+
+// StreamLine is one NDJSON line of a ?stream=1 response: progress events
+// ("prep", "run", "exp") as work happens, then exactly one terminal line
+// ("result" with the payload, or "error").
+type StreamLine struct {
+	Event     string  `json:"event"`
+	Workload  string  `json:"workload,omitempty"`
+	Key       string  `json:"key,omitempty"`
+	ID        string  `json:"id,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Result    any     `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// streamRequest runs f with a progress-observing Lab and writes NDJSON:
+// one line per engine event, then the terminal result/error line.
+func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, f func(l *Lab) (any, error)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(line StreamLine) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ll := s.lab.WithProgress(func(ev Event) {
+		emit(StreamLine{
+			Event:     ev.Stage,
+			Workload:  ev.Workload,
+			Key:       ev.Key,
+			ID:        ev.Exp,
+			ElapsedMS: float64(ev.Elapsed.Microseconds()) / 1000,
+		})
+	})
+	res, err := f(ll)
+	if err != nil {
+		if errorStatus(r.Context(), err) == StatusClientClosedRequest {
+			s.canceled.Add(1)
+		}
+		emit(StreamLine{Event: "error", Error: err.Error()})
+		return
+	}
+	s.completed.Add(1)
+	emit(StreamLine{Event: "result", Result: res})
+}

@@ -1,0 +1,352 @@
+package lab
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T, opts ...ServerOption) (*httptest.Server, *Lab) {
+	t.Helper()
+	l, err := New(WithBudget(2_000), WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(l, opts...))
+	t.Cleanup(srv.Close)
+	return srv, l
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newTestService(t)
+	var h Health
+	getJSON(t, srv.URL+"/v1/healthz", &h)
+	if h.Status != "ok" || h.Experiments != 15 || h.Workloads != 25 || h.Budget != 2_000 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+}
+
+func TestServerListEndpoints(t *testing.T) {
+	srv, _ := newTestService(t)
+	var exps []ExperimentInfo
+	getJSON(t, srv.URL+"/v1/experiments", &exps)
+	if len(exps) != 15 || exps[0].ID != "tab1" {
+		t.Fatalf("experiments list wrong: %+v", exps)
+	}
+	var wls []WorkloadInfo
+	getJSON(t, srv.URL+"/v1/workloads", &wls)
+	if len(wls) != 25 {
+		t.Fatalf("workloads list wrong: %d entries", len(wls))
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown endpoint: %d", resp.StatusCode)
+	}
+}
+
+// TestServerExperimentMatchesWriteJSON is the service's central
+// contract: the POST /v1/experiments/{id} body is byte-identical to the
+// engine's WriteJSON rendering of the same report at the same budget.
+func TestServerExperimentMatchesWriteJSON(t *testing.T) {
+	srv, _ := newTestService(t)
+	resp, err := http.Post(srv.URL+"/v1/experiments/tab1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference rendering through an independent Lab at the same budget.
+	ref, err := New(WithBudget(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ref.Experiment(context.Background(), ExperimentRequest{ID: "tab1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := rep.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("service body differs from WriteJSON:\n--- want ---\n%s\n--- got ---\n%s", want.Bytes(), got)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/experiments/bogus", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus experiment: %d", resp.StatusCode)
+	}
+}
+
+// TestServerExperimentSingleflight fires concurrent requests for the
+// same experiment: every response must be identical and its workload
+// prepared exactly once.
+func TestServerExperimentSingleflight(t *testing.T) {
+	srv, l := newTestService(t)
+	const n = 4
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/experiments/fig5", "application/json", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	// fig5's only workload: prepared once despite n concurrent requests.
+	if c := l.PrepCount("gobmk"); c != 1 {
+		t.Fatalf("gobmk prepared %d times, want 1", c)
+	}
+}
+
+func TestServerRun(t *testing.T) {
+	srv, _ := newTestService(t)
+	body := `{"workload":"mcf","config":{"preset":"r3"},"budget":3000}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var res RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Committed < 3000 || res.Workload != "mcf" {
+		t.Fatalf("implausible run result: %+v", res)
+	}
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"workload":"nope","config":{"preset":"dla"}}`, http.StatusNotFound},
+		{`{"workload":"mcf","config":{"preset":"marvel"}}`, http.StatusBadRequest},
+		{`{"workload":"mcf","config":{"preset":"dla","boq_size":-2}}`, http.StatusBadRequest},
+		{`{"workload":"mcf","config":{"preset":"dla"},"bogus_field":1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestServerStreamValidatesFirst asserts ?stream=1 requests fail with
+// real HTTP statuses (400/404) for invalid bodies, instead of a 200
+// stream carrying an error line.
+func TestServerStreamValidatesFirst(t *testing.T) {
+	srv, _ := newTestService(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"workload":"mcf","config":{"preset":"bogus"}}`, http.StatusBadRequest},
+		{`{"workload":"mcf","config":{"preset":"dla","boq_size":-2}}`, http.StatusBadRequest},
+		{`{"workload":"nope","config":{"preset":"dla"}}`, http.StatusNotFound},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/runs?stream=1", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("stream %s: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestServerMaxBudget(t *testing.T) {
+	srv, _ := newTestService(t, WithMaxBudget(10_000))
+	body := `{"workload":"mcf","config":{"preset":"dla"},"budget":1000000}`
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-budget request: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerRunCancel cancels an in-flight run and asserts 499-style
+// cleanup: the client error surfaces, the active gauge drains, the
+// cancellation is counted, and the server keeps serving.
+func TestServerRunCancel(t *testing.T) {
+	srv, _ := newTestService(t)
+
+	// A budget big enough that the run is still going when we cancel.
+	body := `{"workload":"mcf","config":{"preset":"dla"},"budget":50000000}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/runs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request completed with status %d", resp.StatusCode)
+		}
+		done <- err
+	}()
+
+	// Wait until the server reports the run in flight, then cut the client.
+	waitHealth(t, srv.URL, func(h Health) bool { return h.Active >= 1 })
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled request reported success")
+	}
+
+	// Cleanup: active drains to 0 and the cancellation is accounted.
+	h := waitHealth(t, srv.URL, func(h Health) bool { return h.Active == 0 && h.Canceled >= 1 })
+	if h.Completed != 0 {
+		t.Fatalf("canceled run counted as completed: %+v", h)
+	}
+
+	// The server is still healthy and can serve new work.
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"workload":"mcf","config":{"preset":"dla"},"budget":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel run: status %d", resp.StatusCode)
+	}
+}
+
+// waitHealth polls /v1/healthz until cond holds (or the deadline).
+func waitHealth(t *testing.T, url string, cond func(Health) bool) Health {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var h Health
+	for time.Now().Before(deadline) {
+		getJSON(t, url+"/v1/healthz", &h)
+		if cond(h) {
+			return h
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("health condition never held; last: %+v", h)
+	return h
+}
+
+// TestServerStream exercises the NDJSON progress stream: event lines
+// followed by exactly one terminal result line.
+func TestServerStream(t *testing.T) {
+	srv, _ := newTestService(t)
+	resp, err := http.Post(srv.URL+"/v1/experiments/fig5?stream=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var lines []StreamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("want progress + result lines, got %d", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if last.Event != "result" || last.Result == nil {
+		t.Fatalf("terminal line wrong: %+v", last)
+	}
+	sawPrep := false
+	for _, l := range lines[:len(lines)-1] {
+		if l.Event == "prep" {
+			sawPrep = true
+		}
+		if l.Event == "result" {
+			t.Fatal("result line before the end")
+		}
+	}
+	if !sawPrep {
+		t.Fatal("no prep event in stream")
+	}
+}

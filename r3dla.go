@@ -2,29 +2,28 @@
 // Reuse, Recycle): A More Efficient Approach to Decoupled Look-Ahead
 // Architectures" (Kondguli & Huang, HPCA 2019).
 //
-// The package is a facade over the simulator internals. A typical use:
+// The primary API is the Lab client: explicit, validated configurations
+// built from presets plus functional options, and typed requests that
+// resolve through a memoized (singleflight) result cache on a bounded
+// worker pool. A typical use:
 //
-//	w := r3dla.Workload("mcf")
-//	prog, trainSetup := w.Build(1)                  // training input
-//	prof := r3dla.Profile(prog, trainSetup, 100000) // training run
-//	evalProg, evalSetup := w.Build(2)               // evaluation input
-//	set := r3dla.Skeletons(evalProg, prof)
-//	sys := r3dla.NewSystem(evalProg, evalSetup, set, prof, r3dla.R3Options())
-//	res := sys.Run(200000)
-//	fmt.Println(res.IPC())
+//	l, _ := r3dla.NewLab(r3dla.WithBudget(200_000), r3dla.WithJobs(8))
+//	cfg, _ := r3dla.NewConfig(r3dla.R3, r3dla.WithBOQ(1024))
+//	res, _ := l.RunConfig(ctx, "mcf", cfg, 0)
+//	fmt.Println(res.IPC)
 //
-// Experiments reproducing each table/figure of the paper are exposed via
-// NewExperiments/RunExperiments and the cmd/r3dla command; they run
-// concurrently on a bounded worker pool with deterministic output.
+// Experiments reproducing each table/figure of the paper run through the
+// same client (Lab.Experiment / Lab.Experiments), the cmd/r3dla command,
+// or the cmd/r3dlad HTTP service. Low-level building blocks (programs,
+// profiling, skeleton generation, NewSystem) remain available for
+// harness-style instrumentation.
 package r3dla
 
 import (
-	"context"
-
 	"r3dla/internal/core"
 	"r3dla/internal/emu"
-	"r3dla/internal/exp"
 	"r3dla/internal/isa"
+	"r3dla/internal/lab"
 	"r3dla/internal/pipeline"
 	"r3dla/internal/workloads"
 )
@@ -38,7 +37,8 @@ type (
 	Builder = isa.Builder
 	// Memory is the functional data memory.
 	Memory = emu.Memory
-	// SystemOptions selects the DLA configuration.
+	// SystemOptions selects the DLA configuration (low-level; prefer
+	// building a Config through NewConfig and Config.SystemOptions).
 	SystemOptions = core.Options
 	// System is a coupled look-ahead + main-thread machine.
 	System = core.System
@@ -52,9 +52,118 @@ type (
 	SkeletonSet = core.Set
 	// CoreConfig sizes a pipeline (Table I by default).
 	CoreConfig = pipeline.Config
-	// ExperimentContext drives the table/figure regeneration.
-	ExperimentContext = exp.Context
 )
+
+// The Lab API, re-exported from the lab layer.
+type (
+	// Lab is the simulation client: budgets, a bounded worker pool, and
+	// singleflight memoization of preparation and runs.
+	Lab = lab.Lab
+	// ClientOption configures a Lab (WithBudget, WithJobs, …).
+	ClientOption = lab.ClientOption
+	// Preset is an immutable named base configuration.
+	Preset = lab.Preset
+	// Config is a validated system configuration (NewConfig).
+	Config = lab.Config
+	// Option is one functional configuration option (WithT1, WithBOQ, …).
+	Option = lab.Option
+	// ConfigSpec is the serializable preset-plus-overrides wire form.
+	ConfigSpec = lab.ConfigSpec
+	// RunRequest asks for one simulation.
+	RunRequest = lab.RunRequest
+	// RunResult is the architectural outcome of one simulation.
+	RunResult = lab.RunResult
+	// ExperimentRequest asks for one paper artifact by id.
+	ExperimentRequest = lab.ExperimentRequest
+	// ExperimentInfo names one regenerable artifact.
+	ExperimentInfo = lab.ExperimentInfo
+	// ExperimentResult is one experiment's outcome (report or error).
+	ExperimentResult = lab.ExperimentResult
+	// Report is the structured (tables of rows) result of one experiment;
+	// it renders as text and serializes to JSON/CSV.
+	Report = lab.Report
+	// Event is a progress notification from the engine.
+	Event = lab.Event
+	// WorkloadInfo describes one benchmark of the evaluation suite.
+	WorkloadInfo = lab.WorkloadInfo
+	// Prepared is a workload ready to run (program + profile + skeletons).
+	Prepared = lab.Prepared
+)
+
+// The named presets: plain single-core baseline, classic decoupled
+// look-ahead, and the full R3-DLA machine.
+var (
+	Baseline = lab.Baseline
+	DLA      = lab.DLA
+	R3       = lab.R3
+)
+
+// Functional options, re-exported from the lab layer. Configuration
+// options (for NewConfig):
+var (
+	WithT1           = lab.WithT1
+	WithValueReuse   = lab.WithValueReuse
+	WithFetchBuffer  = lab.WithFetchBuffer
+	WithRecycle      = lab.WithRecycle
+	WithBOP          = lab.WithBOP
+	WithStride       = lab.WithStride
+	WithPrefetchOnly = lab.WithPrefetchOnly
+	WithBOQ          = lab.WithBOQ
+	WithFQ           = lab.WithFQ
+	WithVQ           = lab.WithVQ
+	WithRebootCost   = lab.WithRebootCost
+	WithTrials       = lab.WithTrials
+	WithVersion      = lab.WithVersion
+	WithStaticLCT    = lab.WithStaticLCT
+	WithCores        = lab.WithCores
+	WithLTCore       = lab.WithLTCore
+)
+
+// Client options (for NewLab):
+var (
+	WithBudget      = lab.WithBudget
+	WithTrainBudget = lab.WithTrainBudget
+	WithJobs        = lab.WithJobs
+	WithProgress    = lab.WithProgress
+	WithDetailLog   = lab.WithDetailLog
+)
+
+// NewLab builds a Lab client.
+func NewLab(opts ...ClientOption) (*Lab, error) { return lab.New(opts...) }
+
+// NewConfig builds a validated configuration from a preset plus options.
+func NewConfig(p Preset, opts ...Option) (Config, error) { return lab.NewConfig(p, opts...) }
+
+// MustConfig is NewConfig for static configurations; it panics on error.
+func MustConfig(p Preset, opts ...Option) Config { return lab.MustConfig(p, opts...) }
+
+// ListExperiments lists the regenerable paper artifacts in presentation
+// order.
+func ListExperiments() []ExperimentInfo { return lab.ListExperiments() }
+
+// ExperimentIDs lists the regenerable artifact ids, sorted.
+func ExperimentIDs() []string { return lab.ExperimentIDs() }
+
+// ListWorkloads lists the evaluation suite.
+func ListWorkloads() []WorkloadInfo { return lab.ListWorkloads() }
+
+// PrepareProgram profiles a caller-supplied program and generates its
+// skeletons, yielding material Lab.RunPrepared accepts. name keys the
+// Lab's run cache.
+func PrepareProgram(name string, prog *Program, setup func(*Memory), trainBudget uint64) *Prepared {
+	return lab.PrepareProgram(name, prog, setup, trainBudget)
+}
+
+// Characterize profiles a named workload on the training input and
+// summarizes its instruction mix and miss profile.
+func Characterize(name string, budget uint64) (*lab.WorkloadStats, error) {
+	return lab.Characterize(name, budget)
+}
+
+// DescribeSkeletons generates and summarizes a workload's skeleton set.
+func DescribeSkeletons(name string, trainBudget uint64, listing bool) (*lab.SkeletonInfo, error) {
+	return lab.DescribeSkeletons(name, trainBudget, listing)
+}
 
 // NewBuilder starts assembling a program.
 func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
@@ -79,64 +188,40 @@ func Skeletons(p *Program, prof *TrainingProfile) *SkeletonSet {
 	return core.Generate(p, prof)
 }
 
-// NewSystem builds a DLA system; see core.Options for the configuration
-// space.
+// NewSystem builds a DLA system (low-level; most callers want
+// Lab.RunConfig or Lab.RunPrepared, which add caching and cancellation).
+// Configurations should come from Config.SystemOptions rather than
+// hand-built literals.
 func NewSystem(p *Program, setup func(*Memory), set *SkeletonSet, prof *TrainingProfile, opt SystemOptions) *System {
 	return core.NewSystem(p, setup, set, prof, opt)
 }
 
-// BaselineOptions returns the plain single-core configuration (Table I +
-// BOP) every experiment normalizes against.
-func BaselineOptions() SystemOptions {
-	return SystemOptions{Disable: true, WithBOP: true}
-}
+// BaselineOptions returns the plain single-core configuration every
+// experiment normalizes against.
+//
+// Deprecated: build configurations through the Lab API instead —
+// MustConfig(Baseline).SystemOptions() is the equivalent.
+func BaselineOptions() SystemOptions { return lab.MustConfig(lab.Baseline).SystemOptions() }
 
 // DLAOptions returns the baseline decoupled look-ahead configuration.
-func DLAOptions() SystemOptions { return core.DLAOptions() }
+//
+// Deprecated: build configurations through the Lab API instead —
+// MustConfig(DLA).SystemOptions() is the equivalent.
+func DLAOptions() SystemOptions { return lab.MustConfig(lab.DLA).SystemOptions() }
 
 // R3Options returns the full R3-DLA configuration (T1 + value reuse +
 // fetch buffer + recycling).
-func R3Options() SystemOptions { return core.R3Options() }
+//
+// Deprecated: build configurations through the Lab API instead —
+// MustConfig(R3).SystemOptions() is the equivalent.
+func R3Options() SystemOptions { return lab.MustConfig(lab.R3).SystemOptions() }
 
 // DefaultCoreConfig returns the Table I processing node.
 func DefaultCoreConfig() CoreConfig { return pipeline.DefaultConfig() }
 
-// NewExperiments returns a context for regenerating the paper's tables
-// and figures (budget = committed instructions per simulation; 0 picks
-// the default). Set its Jobs field to bound the worker pool the runs are
-// dispatched to; the context is safe for concurrent use.
-func NewExperiments(budget uint64) *ExperimentContext { return exp.NewContext(budget) }
+// HalfCoreConfig returns half the Table I node (one side of the SMT
+// split of Sec. IV-B3).
+func HalfCoreConfig() CoreConfig { return pipeline.HalfConfig() }
 
-// ExperimentReport is the structured (tables of rows) result of one
-// experiment; it renders as text and serializes to JSON/CSV.
-type ExperimentReport = exp.Report
-
-// ExperimentResult is one experiment's outcome from RunExperiments
-// (report or error, plus timing).
-type ExperimentResult = exp.Result
-
-// ExperimentEvent is a progress notification; assign a func(ExperimentEvent)
-// to ExperimentContext.Progress to observe preparation/run/experiment
-// completion.
-type ExperimentEvent = exp.Event
-
-// RunExperiment regenerates one artifact ("fig9a", "tab2", ...; see
-// ExperimentIDs) and returns its text rendering.
-func RunExperiment(ctx *ExperimentContext, id string) (string, bool) {
-	e, ok := exp.ByID(id)
-	if !ok {
-		return "", false
-	}
-	return e.Run(ctx).String(), true
-}
-
-// RunExperiments regenerates several artifacts concurrently on ctx's
-// worker pool, returning structured reports in id order (deterministic
-// regardless of scheduling). Cancellation via cctx aborts outstanding
-// work.
-func RunExperiments(cctx context.Context, ctx *ExperimentContext, ids []string) ([]ExperimentResult, error) {
-	return exp.Run(cctx, ctx, ids, nil)
-}
-
-// ExperimentIDs lists the regenerable artifacts.
-func ExperimentIDs() []string { return exp.IDs() }
+// WideCoreConfig returns the doubled node the SMT study splits.
+func WideCoreConfig() CoreConfig { return pipeline.WideConfig() }
