@@ -9,6 +9,15 @@
 //	r3dla -exp all -format json,csv -out results
 //	r3dla -list                          # what's available
 //
+//	r3dla sweep -workloads mcf,libq -preset dla,r3 -boq 128,512
+//	r3dla sweep -spec sweep.json -journal sweep.ndjson
+//	r3dla sweep -spec sweep.json -journal sweep.ndjson -resume
+//
+// The sweep subcommand explores a configuration grid (axes over presets,
+// feature toggles, queue sizes, skeleton versions and core models) across
+// a workload set, checkpointing completed cells to -journal so a killed
+// sweep resumes with -resume; see README §sweeps for the spec format.
+//
 // Experiments run through the Lab client on a bounded worker pool
 // (-jobs, default GOMAXPROCS); per-workload preparation and
 // standard-configuration runs are shared across experiments, and the
@@ -25,13 +34,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"r3dla/internal/lab"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	var (
 		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
 		budget  = flag.Uint64("budget", 150_000, "committed instructions per simulation")
@@ -53,21 +65,7 @@ func main() {
 		return
 	}
 
-	wantText, wantJSON, wantCSV := false, false, false
-	for _, f := range strings.Split(*format, ",") {
-		switch strings.TrimSpace(f) {
-		case "text":
-			wantText = true
-		case "json":
-			wantJSON = true
-		case "csv":
-			wantCSV = true
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json, csv)\n", f)
-			os.Exit(2)
-		}
-	}
+	wantText, wantJSON, wantCSV := parseFormats(*format)
 	if wantJSON || wantCSV {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "r3dla: %v\n", err)

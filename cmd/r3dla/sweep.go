@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// runSweep is the `r3dla sweep` subcommand: a parameter-space sweep over
+// the configuration grid, sharded across the Lab's worker pool, with
+// checkpoint/resume through an NDJSON journal. The grid comes from a
+// JSON spec file (-spec) or from per-axis flags; stdout carries the
+// aggregate tables (byte-identical for any -jobs), stderr the progress.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		specPath  = fs.String("spec", "", "sweep spec file (JSON); overrides the axis flags")
+		wls       = fs.String("workloads", "", "comma-separated workloads, suites, or 'all'")
+		presets   = fs.String("preset", "", "preset axis: comma-separated baseline,dla,r3")
+		t1s       = fs.String("t1", "", "T1-offload axis: comma-separated true,false")
+		reuses    = fs.String("value-reuse", "", "value-reuse axis: comma-separated true,false")
+		fetchbufs = fs.String("fetch-buffer", "", "fetch-buffer axis: comma-separated true,false")
+		recycles  = fs.String("recycle", "", "recycle axis: comma-separated true,false")
+		boqs      = fs.String("boq", "", "BOQ-size axis: comma-separated ints")
+		fqs       = fs.String("fq", "", "FQ-size axis: comma-separated ints")
+		vqs       = fs.String("vq", "", "VQ-size axis: comma-separated ints")
+		versions  = fs.String("version", "", "fixed skeleton version axis: comma-separated ints")
+		cores     = fs.String("cores", "", "core-model axis: comma-separated default,wide,half")
+		budget    = fs.Uint64("budget", 150_000, "committed instructions per cell")
+		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		journal   = fs.String("journal", "", "checkpoint journal path (NDJSON, one cell per line)")
+		resume    = fs.Bool("resume", false, "skip cells already checkpointed in -journal")
+		format    = fs.String("format", "text", "comma-separated output formats: text, json, csv")
+		outDir    = fs.String("out", "results", "directory for json/csv output files")
+		quiet     = fs.Bool("q", false, "suppress progress reporting on stderr")
+	)
+	fs.Parse(args)
+
+	budgetSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" {
+			budgetSet = true
+		}
+	})
+
+	var spec sweep.Spec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if spec, err = sweep.ParseSpec(data); err != nil {
+			fatalf("%v", err)
+		}
+		// Precedence: an explicit -budget beats the spec file's budget,
+		// which beats the default.
+		if budgetSet || spec.Budget == 0 {
+			spec.Budget = *budget
+		}
+	} else {
+		spec = sweep.Spec{
+			Workloads: splitList(*wls),
+			Budget:    *budget,
+			Axes: sweep.Axes{
+				Preset:      splitList(*presets),
+				T1:          parseBools("t1", *t1s),
+				ValueReuse:  parseBools("value-reuse", *reuses),
+				FetchBuffer: parseBools("fetch-buffer", *fetchbufs),
+				Recycle:     parseBools("recycle", *recycles),
+				BOQSize:     parseInts("boq", *boqs),
+				FQSize:      parseInts("fq", *fqs),
+				VQSize:      parseInts("vq", *vqs),
+				Version:     parseInts("version", *versions),
+				Cores:       parseCores(*cores),
+			},
+		}
+	}
+	if *resume && *journal == "" {
+		fatalf("-resume requires -journal")
+	}
+
+	wantText, wantJSON, wantCSV := parseFormats(*format)
+	if wantJSON || wantCSV {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	l, err := lab.New(lab.WithBudget(spec.Budget), lab.WithJobs(*jobs))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := sweep.Options{Journal: *journal, Resume: *resume}
+	if !*quiet {
+		opts.Progress = func(ev sweep.Event) {
+			state := ev.Elapsed.Round(time.Millisecond).String()
+			if ev.Resumed {
+				state = "resumed"
+			}
+			fmt.Fprintf(os.Stderr, "  [cell %d/%d] %-9s %s (%s)\n",
+				ev.Done, ev.Total, ev.Cell.Workload, strings.Join(ev.Cell.Coords, " "), state)
+		}
+	}
+	res, err := sweep.Run(ctx, l, spec, opts)
+	if err != nil {
+		if *journal != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "r3dla sweep: interrupted; resume with -journal %s -resume\n", *journal)
+		}
+		fatalf("%v", err)
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "r3dla sweep: %d/%d cells restored from %s\n", res.Resumed, len(res.Cells), *journal)
+	}
+
+	rep := res.Report()
+	if wantText {
+		fmt.Println(rep.String())
+	}
+	if wantJSON {
+		if err := writeFile(filepath.Join(*outDir, "sweep.json"), rep.WriteJSON); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if wantCSV {
+		if err := writeFile(filepath.Join(*outDir, "sweep.csv"), rep.WriteCSV); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "r3dla sweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// splitList splits a comma-separated flag value ("" = nil).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func parseBools(name, s string) []bool {
+	var out []bool
+	for _, e := range splitList(s) {
+		v, err := strconv.ParseBool(e)
+		if err != nil {
+			fatalf("-%s: %q is not a bool", name, e)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(name, s string) []int {
+	var out []int
+	for _, e := range splitList(s) {
+		v, err := strconv.Atoi(e)
+		if err != nil {
+			fatalf("-%s: %q is not an int", name, e)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseCores(s string) []lab.CoreSpec {
+	var out []lab.CoreSpec
+	for _, e := range splitList(s) {
+		out = append(out, lab.CoreSpec{Model: e})
+	}
+	return out
+}
+
+func parseFormats(format string) (text, jsonF, csvF bool) {
+	for _, f := range strings.Split(format, ",") {
+		switch strings.TrimSpace(f) {
+		case "text":
+			text = true
+		case "json":
+			jsonF = true
+		case "csv":
+			csvF = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json, csv)\n", f)
+			os.Exit(2)
+		}
+	}
+	return
+}

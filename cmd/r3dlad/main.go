@@ -16,6 +16,7 @@
 //	GET  /v1/workloads            the evaluation suite
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1: NDJSON progress)
 //	POST /v1/runs                 one simulation (RunRequest JSON body)
+//	POST /v1/sweeps               parameter sweep (sweep.Spec JSON body; NDJSON cell stream)
 //
 // A disconnecting client cancels its in-flight simulation cooperatively
 // (accounted as a 499 in /v1/healthz counters); SIGINT/SIGTERM drain the
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
 )
 
 func main() {
@@ -51,9 +53,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "r3dlad: %v\n", err)
 		os.Exit(1)
 	}
+	h := lab.NewServer(l, lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight))
+	h.Handle("POST /v1/sweeps", sweep.NewHandler(l, h))
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     lab.NewServer(l, lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight)),
+		Handler:     h,
 		ReadTimeout: 30 * time.Second,
 	}
 

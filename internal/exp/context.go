@@ -85,6 +85,7 @@ type sharedState struct {
 	prepared  map[string]*prepEntry
 	runs      map[string]*runEntry
 	prepCount map[string]int // times preparation actually executed, per workload
+	runCount  int            // memoized simulations actually executed (cache misses)
 }
 
 // entry is a panic-safe singleflight cell: the first caller (the
@@ -319,6 +320,9 @@ func (c *Context) RunCachedAt(key string, p *Prepared, opt core.Options, budget 
 	r := e.do(c.cancelCh(), c.checkCanceled, func() *core.Results {
 		start := time.Now()
 		res := c.RunDLAAt(p, opt, budget)
+		c.state.mu.Lock()
+		c.state.runCount++
+		c.state.mu.Unlock()
 		c.emit(Event{Stage: "run", Workload: p.W.Name, Key: key, Elapsed: time.Since(start)})
 		return res
 	})
@@ -381,6 +385,15 @@ func (c *Context) PrepCount(name string) int {
 	c.state.mu.Lock()
 	defer c.state.mu.Unlock()
 	return c.state.prepCount[name]
+}
+
+// RunCount reports how many memoized simulations actually executed
+// (cache misses through RunCached/RunCachedAt). Resume and cache-sharing
+// tests use it to assert journaled or overlapping work is not repeated.
+func (c *Context) RunCount() int {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.runCount
 }
 
 // RunDLA runs one DLA/R3 configuration on a prepared workload, on the

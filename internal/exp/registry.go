@@ -50,4 +50,3 @@ func IDs() []string {
 	sort.Strings(out)
 	return out
 }
-

@@ -86,6 +86,45 @@ func NewConfig(p Preset, opts ...Option) (Config, error) {
 	if c.opt.Recycle && c.opt.HasFixedVersion {
 		return Config{}, fmt.Errorf("%w: a fixed skeleton version conflicts with online recycling (disable one)", ErrInvalid)
 	}
+	// The baseline preset spawns no look-ahead thread, so look-ahead
+	// options are contradictions, not no-ops: accepting them would make
+	// every value an inert-but-distinct cache key, and a sweep axis over
+	// them would simulate N identical baselines and report a meaningless
+	// marginal. Reject them with the offending field named.
+	if c.opt.Disable {
+		var inert string
+		switch {
+		case c.opt.T1:
+			inert = "the T1 offload"
+		case c.opt.ValueReuse:
+			inert = "value reuse"
+		case c.opt.FetchBuffer:
+			inert = "the fetch buffer"
+		case c.opt.Recycle:
+			inert = "recycling"
+		case c.opt.PrefetchOnly:
+			inert = "prefetch-only mode"
+		case c.opt.HasFixedVersion:
+			inert = "a fixed skeleton version"
+		case c.opt.StaticLCT != nil:
+			inert = "a static LCT"
+		case c.opt.BOQSize != 0:
+			inert = "BOQ sizing"
+		case c.opt.FQSize != 0:
+			inert = "FQ sizing"
+		case c.opt.VQSize != 0:
+			inert = "VQ sizing"
+		case c.opt.RebootCost != 0:
+			inert = "reboot cost"
+		case c.opt.TrialInsts != 0:
+			inert = "a trial window"
+		case c.opt.LTCfg != nil:
+			inert = "a look-ahead core config"
+		}
+		if inert != "" {
+			return Config{}, fmt.Errorf("%w: %s requires a look-ahead preset (baseline runs no look-ahead thread; use dla or r3)", ErrInvalid, inert)
+		}
+	}
 	return c, nil
 }
 
@@ -339,6 +378,87 @@ type ConfigSpec struct {
 	TrialInsts *uint64 `json:"trial_insts,omitempty"`
 
 	Version *int `json:"version,omitempty"` // fixed skeleton version, 0-based
+
+	Cores *CoreSpec `json:"cores,omitempty"` // pipeline sizing of both cores
+}
+
+// CoreSpec is the serializable form of a pipeline configuration: a named
+// model plus explicit width/capacity overrides (0 means "model default").
+// It resolves through WithCores, so the same validation applies to wire
+// requests and programmatic callers.
+type CoreSpec struct {
+	Model string `json:"model,omitempty"` // "default" (Table I), "wide", "half"; "" means default
+
+	FetchWidth  int `json:"fetch_width,omitempty"`
+	DecodeWidth int `json:"decode_width,omitempty"`
+	IssueWidth  int `json:"issue_width,omitempty"`
+	CommitWidth int `json:"commit_width,omitempty"`
+	ROB         int `json:"rob,omitempty"`
+	LSQ         int `json:"lsq,omitempty"`
+}
+
+// coreModels maps CoreSpec model names to their base configurations.
+func coreModel(name string) (pipeline.Config, error) {
+	switch strings.ToLower(name) {
+	case "", "default":
+		return pipeline.DefaultConfig(), nil
+	case "wide":
+		return pipeline.WideConfig(), nil
+	case "half":
+		return pipeline.HalfConfig(), nil
+	}
+	return pipeline.Config{}, fmt.Errorf("%w: unknown core model %q (want default, wide or half)", ErrInvalid, name)
+}
+
+// Config resolves the spec to a full pipeline configuration: the named
+// model's sizing with non-zero overrides applied.
+func (s CoreSpec) Config() (pipeline.Config, error) {
+	cfg, err := coreModel(s.Model)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	for _, o := range []struct {
+		v   int
+		dst *int
+	}{
+		{s.FetchWidth, &cfg.FetchWidth},
+		{s.DecodeWidth, &cfg.DecodeWidth},
+		{s.IssueWidth, &cfg.IssueWidth},
+		{s.CommitWidth, &cfg.CommitWidth},
+		{s.ROB, &cfg.ROB},
+		{s.LSQ, &cfg.LSQ},
+	} {
+		if o.v < 0 {
+			return pipeline.Config{}, fmt.Errorf("%w: negative core sizing %d", ErrInvalid, o.v)
+		}
+		if o.v > 0 {
+			*o.dst = o.v
+		}
+	}
+	return cfg, nil
+}
+
+// Key returns the spec's canonical short form ("wide", "default+rob=512",
+// …), used as a sweep axis label.
+func (s CoreSpec) Key() string {
+	name := strings.ToLower(s.Model)
+	if name == "" {
+		name = "default"
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, o := range []struct {
+		tag string
+		v   int
+	}{
+		{"fetch", s.FetchWidth}, {"decode", s.DecodeWidth}, {"issue", s.IssueWidth},
+		{"commit", s.CommitWidth}, {"rob", s.ROB}, {"lsq", s.LSQ},
+	} {
+		if o.v != 0 {
+			fmt.Fprintf(&b, "+%s=%d", o.tag, o.v)
+		}
+	}
+	return b.String()
 }
 
 // Config resolves the spec into a validated Config.
@@ -381,6 +501,13 @@ func (s ConfigSpec) Config() (Config, error) {
 	}
 	if s.Version != nil {
 		opts = append(opts, WithVersion(*s.Version))
+	}
+	if s.Cores != nil {
+		cfg, err := s.Cores.Config()
+		if err != nil {
+			return Config{}, err
+		}
+		opts = append(opts, WithCores(cfg))
 	}
 	return NewConfig(p, opts...)
 }

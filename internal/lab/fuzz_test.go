@@ -1,0 +1,62 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigSpecRoundtrip asserts the wire-format invariant every spec
+// that validates must satisfy: marshal → unmarshal → validate yields the
+// same canonical configuration key and a byte-identical re-marshal.
+// Committed seeds live in testdata/fuzz/FuzzConfigSpecRoundtrip and run
+// as ordinary cases under plain `go test`.
+func FuzzConfigSpecRoundtrip(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"preset":"dla"}`,
+		`{"preset":"R3"}`,
+		`{"preset":"dla","t1":true,"boq_size":1024,"version":0}`,
+		`{"preset":"baseline","bop":false,"stride":true}`,
+		`{"preset":"dla","fq_size":4,"vq_size":1,"reboot_cost":64,"trial_insts":1500}`,
+		`{"preset":"dla","cores":{"model":"wide"}}`,
+		`{"preset":"r3","cores":{"model":"half","rob":512,"fetch_width":2}}`,
+		`{"preset":"r3","recycle":false,"version":5}`,
+		`{"preset":"dla","prefetch_only":true,"value_reuse":false,"fetch_buffer":true}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		var spec ConfigSpec
+		if err := json.Unmarshal([]byte(data), &spec); err != nil {
+			t.Skip() // not a spec at all
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			return // invalid specs may reject; the invariant is for valid ones
+		}
+
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var spec2 ConfigSpec
+		if err := json.Unmarshal(wire, &spec2); err != nil {
+			t.Fatalf("marshaled spec does not unmarshal: %s: %v", wire, err)
+		}
+		cfg2, err := spec2.Config()
+		if err != nil {
+			t.Fatalf("round-tripped spec no longer validates: %s: %v", wire, err)
+		}
+		if cfg.Key() != cfg2.Key() {
+			t.Fatalf("round trip changed the canonical key:\n before %s\n after  %s", cfg.Key(), cfg2.Key())
+		}
+		wire2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("re-marshal unstable:\n first  %s\n second %s", wire, wire2)
+		}
+	})
+}

@@ -125,6 +125,12 @@ func (l *Lab) WithProgress(f func(Event)) *Lab {
 // instrumentation; the service smoke tests observe it).
 func (l *Lab) PrepCount(workload string) int { return l.c.PrepCount(workload) }
 
+// RunCount reports how many memoized simulations actually executed
+// across every request this Lab served (cache misses only — runs served
+// from the singleflight cache don't count). Sweep resume and
+// cache-sharing tests assert against it.
+func (l *Lab) RunCount() int { return l.c.RunCount() }
+
 // guarded runs f against a request-scoped engine context, recovering the
 // engine's cancellation panic back into an ordinary error.
 func (l *Lab) guarded(ctx context.Context, f func(c *exp.Context)) (err error) {

@@ -65,6 +65,31 @@ func TestOptionValidation(t *testing.T) {
 			t.Errorf("%s: error %v not tagged ErrInvalid", tc.name, err)
 		}
 	}
+
+	// Look-ahead options on the baseline preset are contradictions (no
+	// LT exists), not silent no-ops: each value would otherwise be an
+	// inert-but-distinct cache key, and a sweep axis over it would
+	// simulate identical baselines N times.
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"t1 on baseline", WithT1(true)},
+		{"value reuse on baseline", WithValueReuse(true)},
+		{"recycle on baseline", WithRecycle(true)},
+		{"version on baseline", WithVersion(2)},
+		{"BOQ on baseline", WithBOQ(1024)},
+		{"static LCT on baseline", WithStaticLCT(map[int]int{0: 1})},
+	} {
+		if _, err := NewConfig(Baseline, tc.opt); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error %v not tagged ErrInvalid", tc.name, err)
+		}
+	}
+	// Only true contradictions reject: false toggles, stride/BOP and MT
+	// core sizing stay valid on the baseline.
+	if _, err := NewConfig(Baseline, WithT1(false), WithStride(true), WithBOP(false)); err != nil {
+		t.Errorf("benign baseline options rejected: %v", err)
+	}
 	if _, err := NewConfig(Preset{}); !errors.Is(err, ErrInvalid) {
 		t.Errorf("zero preset: %v", err)
 	}
@@ -90,6 +115,61 @@ func TestWithVersionZeroIsExplicit(t *testing.T) {
 	}
 	if !strings.Contains(v0.Key(), "v=0") {
 		t.Fatalf("version 0 missing from key: %s", v0.Key())
+	}
+}
+
+func TestCoreSpec(t *testing.T) {
+	// A bare model resolves to its pipeline config.
+	wide, err := CoreSpec{Model: "wide"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.ROB != 512 || wide.FetchWidth != 16 {
+		t.Fatalf("wide model wrong: %+v", wide)
+	}
+	// Overrides apply on top of the model; zero fields keep defaults.
+	cfg, err := CoreSpec{Model: "half", ROB: 999, FetchWidth: 2}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ROB != 999 || cfg.FetchWidth != 2 || cfg.DecodeWidth != 6 {
+		t.Fatalf("overrides wrong: %+v", cfg)
+	}
+	// Model names are case-insensitive; "" means default.
+	if _, err := (CoreSpec{Model: "WIDE"}).Config(); err != nil {
+		t.Fatal(err)
+	}
+	def, err := CoreSpec{}.Config()
+	if err != nil || def.ROB != 192 {
+		t.Fatalf("default model: %v %+v", err, def)
+	}
+
+	for _, bad := range []CoreSpec{
+		{Model: "mega"},
+		{ROB: -1},
+		{FetchWidth: -4},
+	} {
+		if _, err := bad.Config(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%+v: error %v not tagged ErrInvalid", bad, err)
+		}
+	}
+
+	// Keys are canonical axis labels.
+	if k := (CoreSpec{}).Key(); k != "default" {
+		t.Errorf("zero key %q", k)
+	}
+	if k := (CoreSpec{Model: "Half", ROB: 512, FetchWidth: 2}).Key(); k != "half+fetch=2+rob=512" {
+		t.Errorf("override key %q", k)
+	}
+
+	// Through ConfigSpec: distinct core specs yield distinct run keys.
+	c1, err := (ConfigSpec{Preset: "dla", Cores: &CoreSpec{Model: "wide"}}).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := MustConfig(DLA)
+	if c1.Key() == c2.Key() {
+		t.Fatalf("wide cores alias the default config key: %s", c1.Key())
 	}
 }
 

@@ -79,6 +79,36 @@ func NewServer(l *Lab, opts ...ServerOption) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Handle mounts an extension route (the sweep endpoint) on the server's
+// mux. Extension handlers share the server's Lab, admission semaphore and
+// request counters through Admit/Observe.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Admit reserves an admission slot for an extension handler's simulation
+// request, exactly as the built-in run/experiment endpoints do: when the
+// server is at capacity the client gets 503 and ok is false; otherwise
+// the request counts as active until release is called.
+func (s *Server) Admit(w http.ResponseWriter) (release func(), ok bool) {
+	return s.admitRequest(w)
+}
+
+// Observe classifies an extension request's outcome into the healthz
+// counters: nil marks it completed, a cancellation (the client went away)
+// marks it canceled. It does not write a response.
+func (s *Server) Observe(ctx context.Context, err error) {
+	if err == nil {
+		s.completed.Add(1)
+		return
+	}
+	if errorStatus(ctx, err) == StatusClientClosedRequest {
+		s.canceled.Add(1)
+	}
+}
+
+// MaxBudget reports the per-request budget cap (0 = unlimited), so
+// extension handlers enforce the same admission policy as POST /v1/runs.
+func (s *Server) MaxBudget() uint64 { return s.maxBudget }
+
 // ------------------------------------------------------------- plumbing
 
 type apiError struct {

@@ -204,6 +204,46 @@ func TestServerRun(t *testing.T) {
 	}
 }
 
+// TestServerRunValidationMessages closes the sweep-relevant test gap:
+// invalid configuration combinations must come back as 400s whose bodies
+// carry field-level messages (the offending field and value), end-to-end
+// through the server — most importantly a fixed skeleton version outside
+// the recycle-pool range, and one that conflicts with online recycling.
+func TestServerRunValidationMessages(t *testing.T) {
+	srv, _ := newTestService(t)
+	for _, tc := range []struct {
+		name, body, want string
+	}{
+		{"version above pool", `{"workload":"mcf","config":{"preset":"dla","version":9}}`, "skeleton version 9, want 0..5"},
+		{"version negative", `{"workload":"mcf","config":{"preset":"dla","version":-1}}`, "skeleton version -1"},
+		{"version under recycle", `{"workload":"mcf","config":{"preset":"r3","version":2}}`, "conflicts with online recycling"},
+		{"unknown preset", `{"workload":"mcf","config":{"preset":"marvel"}}`, `unknown preset "marvel"`},
+		{"boq too small", `{"workload":"mcf","config":{"preset":"dla","boq_size":0}}`, "BOQ size 0, want >= 1"},
+		{"fq below split", `{"workload":"mcf","config":{"preset":"dla","fq_size":3}}`, "FQ size 3, want >= 4"},
+		{"zero reboot cost", `{"workload":"mcf","config":{"preset":"dla","reboot_cost":0}}`, "reboot cost 0"},
+		{"unknown core model", `{"workload":"mcf","config":{"preset":"dla","cores":{"model":"mega"}}}`, `unknown core model "mega"`},
+		{"version on baseline", `{"workload":"mcf","config":{"preset":"baseline","version":3}}`, "requires a look-ahead preset"},
+		{"t1 on baseline", `{"workload":"mcf","config":{"t1":true}}`, "requires a look-ahead preset"},
+		{"negative core sizing", `{"workload":"mcf","config":{"preset":"dla","cores":{"rob":-1}}}`, "negative core sizing -1"},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e apiError
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: body not an error document: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q misses field-level message %q", tc.name, e.Error, tc.want)
+		}
+	}
+}
+
 // TestServerStreamValidatesFirst asserts ?stream=1 requests fail with
 // real HTTP statuses (400/404) for invalid bodies, instead of a 200
 // stream carrying an error line.

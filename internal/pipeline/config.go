@@ -7,7 +7,7 @@
 //
 // The model is trace-driven with execute-at-fetch functional semantics:
 // the Feeder supplies the committed-path dynamic instruction stream, and
-// wrong-path work is modeled as fetch-redirect bubbles (see DESIGN.md §6).
+// wrong-path work is modeled as fetch-redirect bubbles.
 package pipeline
 
 import "r3dla/internal/isa"

@@ -74,6 +74,32 @@ func MinMax(xs []float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// Summary captures the distribution of one group of samples: sample
+// count, geometric and arithmetic means, and extrema. The sweep engine's
+// per-axis marginals are Summaries of cell IPCs grouped by axis value.
+type Summary struct {
+	N       int
+	Geomean float64
+	Mean    float64
+	Min     float64
+	Max     float64
+}
+
+// Summarize computes the Summary of xs (zero value for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	lo, hi := MinMax(xs)
+	return Summary{
+		N:       len(xs),
+		Geomean: Geomean(xs),
+		Mean:    Mean(xs),
+		Min:     lo,
+		Max:     hi,
+	}
+}
+
 // Histogram is a fixed-bin counting histogram over small non-negative
 // integers (queue lengths, widths per cycle, …).
 type Histogram struct {

@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"r3dla/internal/lab"
+)
+
+// Event is one progress notification: a cell completed (freshly simulated
+// or restored from the journal on resume).
+type Event struct {
+	Cell    Cell
+	Result  *lab.RunResult
+	Resumed bool // restored from the checkpoint journal, not re-run
+	Done    int  // cells completed so far (including this one)
+	Total   int
+	Elapsed time.Duration // zero for resumed cells
+}
+
+// Options configure one sweep execution.
+type Options struct {
+	// Journal, when non-empty, is the checkpoint file: every completed
+	// cell is appended as one NDJSON line, so a killed sweep can resume.
+	Journal string
+
+	// Resume loads the journal before running and skips every cell whose
+	// key is already checkpointed. Requires Journal.
+	Resume bool
+
+	// Progress, when non-nil, receives an Event per completed cell. It
+	// may be called from multiple goroutines and must be safe for that.
+	Progress func(Event)
+}
+
+// Result is a completed sweep: the expanded cells in deterministic
+// expansion order, each with its RunResult. Everything derived from it
+// (the report tables, JSON, CSV) is byte-identical regardless of worker
+// count or resume history.
+type Result struct {
+	Spec    Spec         `json:"spec"`
+	Cells   []CellResult `json:"cells"`
+	Resumed int          `json:"resumed"` // cells restored from the journal
+}
+
+// CellResult pairs one cell with its simulation outcome.
+type CellResult struct {
+	Cell
+	Result *lab.RunResult `json:"result"`
+}
+
+// Run executes the sweep on l: the spec expands into its deduplicated
+// cell matrix, journaled cells (on resume) are restored without
+// re-running, and the rest are dispatched concurrently — one goroutine
+// per cell, with actual compute bounded by the Lab's worker pool and
+// shared with every other request through the Lab's singleflight caches.
+// The first cell error (or ctx cancellation) aborts outstanding cells;
+// completed cells stay checkpointed, so a failed or killed sweep resumes
+// where it stopped.
+func Run(ctx context.Context, l *lab.Lab, spec Spec, opts Options) (*Result, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return runCells(ctx, l, spec, cells, opts)
+}
+
+// runCells is Run on an already-expanded matrix (the HTTP handler
+// expands once for up-front validation and reuses the cells here).
+func runCells(ctx context.Context, l *lab.Lab, spec Spec, cells []Cell, opts Options) (*Result, error) {
+	var err error
+	if opts.Resume && opts.Journal == "" {
+		return nil, fmt.Errorf("%w: resume requires a journal path", lab.ErrInvalid)
+	}
+
+	journaled := map[string]*lab.RunResult{}
+	if opts.Resume {
+		if journaled, err = loadJournal(opts.Journal); err != nil {
+			return nil, err
+		}
+	}
+	var jw *journalWriter
+	if opts.Journal != "" {
+		if jw, err = openJournal(opts.Journal); err != nil {
+			return nil, err
+		}
+		defer jw.close()
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{Spec: spec, Cells: make([]CellResult, len(cells))}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards done, firstErr and Progress ordering
+		done     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	complete := func(i int, r *lab.RunResult, resumed bool, elapsed time.Duration) {
+		// Progress runs under mu so observers see Done counts in emission
+		// order (the NDJSON stream's done field must never regress).
+		mu.Lock()
+		defer mu.Unlock()
+		res.Cells[i] = CellResult{Cell: cells[i], Result: r}
+		done++
+		if opts.Progress != nil {
+			opts.Progress(Event{
+				Cell: cells[i], Result: r, Resumed: resumed,
+				Done: done, Total: len(cells), Elapsed: elapsed,
+			})
+		}
+	}
+
+	for i := range cells {
+		if r, ok := journaled[cells[i].Key]; ok {
+			res.Resumed++
+			complete(i, r, true, 0)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			r, err := l.Run(runCtx, lab.RunRequest{
+				Workload: cells[i].Workload,
+				Config:   cells[i].Config,
+				Budget:   spec.Budget,
+			})
+			if err != nil {
+				fail(fmt.Errorf("cell %s: %w", cells[i].Key, err))
+				return
+			}
+			if jw != nil {
+				if err := jw.append(cells[i].Key, r); err != nil {
+					fail(err)
+					return
+				}
+			}
+			complete(i, r, false, time.Since(start))
+		}(i)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		// Prefer the caller's cancellation cause over the per-cell wrap,
+		// so callers can errors.Is against their own context.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, firstErr
+	}
+	return res, nil
+}

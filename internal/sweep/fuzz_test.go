@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSweepSpecRoundtrip asserts the sweep-spec invariant: any spec that
+// parses and expands must survive marshal → unmarshal → expand with an
+// identical cell matrix (same keys, same order, same coordinates).
+// Committed seeds live in testdata/fuzz/FuzzSweepSpecRoundtrip and run as
+// ordinary cases under plain `go test`.
+func FuzzSweepSpecRoundtrip(f *testing.F) {
+	for _, seed := range []string{
+		`{"workloads":["mcf"]}`,
+		`{"workloads":["all"],"budget":3000}`,
+		`{"workloads":["mcf","libq"],"budget":2000,"axes":{"preset":["dla","r3"],"boq_size":[64,512]}}`,
+		`{"workloads":["crono"],"base":{"preset":"dla"},"axes":{"version":[0,1,2,3,4,5]}}`,
+		`{"workloads":["mcf"],"base":{"preset":"dla"},"axes":{"t1":[true,false],"value_reuse":[true,false],"fetch_buffer":[true,false]}}`,
+		`{"workloads":["mcf"],"axes":{"cores":[{"model":"default"},{"model":"wide"},{"model":"half","rob":512}]}}`,
+		`{"workloads":["spec","npb"],"budget":5000,"base":{"preset":"r3"},"axes":{"boq_size":[128,256,512,1024]}}`,
+		`{"workloads":["mcf"],"base":{"preset":"r3"},"axes":{"recycle":[true,false],"bop":[true,false],"stride":[false]}}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ParseSpec([]byte(data))
+		if err != nil {
+			t.Skip() // not a sweep spec
+		}
+		cells, err := spec.Expand()
+		if err != nil {
+			return // invalid grids may reject; the invariant is for valid ones
+		}
+
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		spec2, err := ParseSpec(wire)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %s: %v", wire, err)
+		}
+		cells2, err := spec2.Expand()
+		if err != nil {
+			t.Fatalf("round-tripped spec no longer expands: %s: %v", wire, err)
+		}
+		if len(cells) != len(cells2) {
+			t.Fatalf("round trip changed the matrix: %d cells vs %d", len(cells), len(cells2))
+		}
+		for i := range cells {
+			if cells[i].Key != cells2[i].Key {
+				t.Fatalf("cell %d key changed:\n before %s\n after  %s", i, cells[i].Key, cells2[i].Key)
+			}
+			for j := range cells[i].Coords {
+				if cells[i].Coords[j] != cells2[i].Coords[j] {
+					t.Fatalf("cell %d coord %d changed: %s vs %s",
+						i, j, cells[i].Coords[j], cells2[i].Coords[j])
+				}
+			}
+		}
+	})
+}

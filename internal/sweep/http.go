@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"r3dla/internal/exp"
+	"r3dla/internal/lab"
+)
+
+// Gate is the slice of the r3dlad server a sweep handler shares: request
+// admission (503 at capacity), outcome accounting for /v1/healthz, and
+// the per-request budget cap. *lab.Server implements it; a nil Gate means
+// unlimited admission and no budget cap (library/test use).
+type Gate interface {
+	Admit(w http.ResponseWriter) (release func(), ok bool)
+	Observe(ctx context.Context, err error)
+	MaxBudget() uint64
+}
+
+// StreamLine is one NDJSON line of a POST /v1/sweeps response: a "cell"
+// line per completed cell (in completion order), then exactly one
+// terminal line — "result" carrying the aggregate report, or "error".
+type StreamLine struct {
+	Event   string         `json:"event"` // "cell", "result", "error"
+	Done    int            `json:"done,omitempty"`
+	Total   int            `json:"total,omitempty"`
+	Cell    *Cell          `json:"cell,omitempty"`
+	Run     *lab.RunResult `json:"run,omitempty"`
+	Resumed bool           `json:"resumed,omitempty"`
+	Result  *exp.Report    `json:"result,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// NewHandler returns the POST /v1/sweeps handler over l: the body is a
+// sweep Spec (JSON), the response an NDJSON stream of completed cells
+// followed by the aggregate report. Validation failures are proper 400s
+// before the stream commits to 200. Sweeps are admitted through g exactly
+// like runs; the server journals nothing — cross-request reuse comes from
+// the Lab's singleflight result cache instead.
+func NewHandler(l *lab.Lab, g Gate) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", lab.ErrInvalid, err))
+			return
+		}
+		spec, err := ParseSpec(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if g != nil {
+			if max := g.MaxBudget(); max > 0 && spec.Budget > max {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: budget %d exceeds server cap %d", lab.ErrInvalid, spec.Budget, max))
+				return
+			}
+		}
+		// Expand up front so bad grids are 400s with field-level messages,
+		// not mid-stream errors; the cells are reused below.
+		cells, err := spec.Expand()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		var release func()
+		if g != nil {
+			var ok bool
+			if release, ok = g.Admit(w); !ok {
+				return
+			}
+			defer release()
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		var mu sync.Mutex
+		enc := json.NewEncoder(w)
+		emit := func(line StreamLine) {
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(line)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+
+		res, err := runCells(r.Context(), l, spec, cells, Options{
+			Progress: func(ev Event) {
+				c := ev.Cell
+				emit(StreamLine{
+					Event: "cell", Done: ev.Done, Total: ev.Total,
+					Cell: &c, Run: ev.Result, Resumed: ev.Resumed,
+				})
+			},
+		})
+		if g != nil {
+			g.Observe(r.Context(), err)
+		}
+		if err != nil {
+			emit(StreamLine{Event: "error", Error: err.Error()})
+			return
+		}
+		emit(StreamLine{Event: "result", Result: res.Report()})
+	})
+}
+
+// writeError mirrors the lab server's error body shape.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

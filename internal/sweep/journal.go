@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"r3dla/internal/lab"
+)
+
+// journalLine is one checkpoint record: a completed cell's canonical key
+// and its result. The journal is NDJSON — one line per completed cell,
+// appended as cells finish, in completion order (which varies with
+// scheduling; the aggregate table does not depend on it).
+type journalLine struct {
+	Key    string         `json:"key"`
+	Result *lab.RunResult `json:"result"`
+}
+
+// loadJournal reads a checkpoint journal and returns completed results by
+// cell key. Damage a crash can leave behind is tolerated: a truncated or
+// otherwise malformed line (typically the final line of a killed sweep)
+// is skipped, and duplicate keys collapse (last write wins — results are
+// deterministic, so duplicates agree anyway). A missing file is an empty
+// journal.
+func loadJournal(path string) (map[string]*lab.RunResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*lab.RunResult{}, nil
+		}
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	defer f.Close()
+
+	out := make(map[string]*lab.RunResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil || l.Key == "" || l.Result == nil {
+			continue // torn write from a killed sweep
+		}
+		out[l.Key] = l.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	return out, nil
+}
+
+// journalWriter appends checkpoint lines to the journal file, serialized
+// across the sweep's worker goroutines. Each line is written and flushed
+// atomically with respect to other appends, so a crash loses at most the
+// line being written.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// append writes one completed cell. Errors are returned so the engine can
+// abort the sweep rather than silently losing checkpoints.
+func (w *journalWriter) append(key string, res *lab.RunResult) error {
+	data, err := json.Marshal(journalLine{Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"r3dla/internal/exp"
+	"r3dla/internal/stats"
+)
+
+// Report renders the sweep as an experiment-style report: one long-form
+// grid table (one row per cell, coordinate columns then metrics) followed
+// by a marginal table per axis with at least two values (and one over
+// workloads when the set has several). It reuses the experiment report
+// machinery, so text/JSON/CSV rendering and file output are identical to
+// the canned experiments'. The output is a pure function of the cells in
+// expansion order — byte-identical for any worker count.
+func (r *Result) Report() *exp.Report {
+	axes := r.Spec.AxisNames()
+
+	grid := &stats.Table{Title: r.title()}
+	grid.Header = append(append([]string{"workload"}, axes...),
+		"ipc", "cycles", "committed", "reboots", "l1d_mpki", "dram_traffic")
+	for _, c := range r.Cells {
+		row := append([]string{c.Workload}, c.Coords...)
+		row = append(row,
+			fmt.Sprintf("%.4f", c.Result.IPC),
+			fmt.Sprintf("%d", c.Result.Cycles),
+			fmt.Sprintf("%d", c.Result.Committed),
+			fmt.Sprintf("%d", c.Result.Reboots),
+			fmt.Sprintf("%.3f", c.Result.L1DMPKI),
+			fmt.Sprintf("%d", c.Result.DRAMTraffic),
+		)
+		grid.AddRow(row...)
+	}
+
+	rep := exp.NewReport(grid)
+	rep.ID = "sweep"
+	rep.Title = grid.Title
+
+	cellList := make([]Cell, len(r.Cells))
+	for i, c := range r.Cells {
+		cellList[i] = c.Cell
+	}
+	marginal := func(name string, values []string, of func(CellResult) string) {
+		if len(values) < 2 {
+			return
+		}
+		t := &stats.Table{
+			Title:  fmt.Sprintf("marginal over %s (IPC across all other cells)", name),
+			Header: []string{name, "n", "ipc_geomean", "ipc_mean", "ipc_min", "ipc_max"},
+		}
+		for _, v := range values {
+			var xs []float64
+			for _, c := range r.Cells {
+				if of(c) == v {
+					xs = append(xs, c.Result.IPC)
+				}
+			}
+			s := stats.Summarize(xs)
+			t.AddRow(v, fmt.Sprintf("%d", s.N),
+				fmt.Sprintf("%.4f", s.Geomean), fmt.Sprintf("%.4f", s.Mean),
+				fmt.Sprintf("%.4f", s.Min), fmt.Sprintf("%.4f", s.Max))
+		}
+		rep.Add(t)
+	}
+
+	marginal("workload", workloadOrder(cellList), func(c CellResult) string { return c.Workload })
+	for i, name := range axes {
+		i := i
+		marginal(name, labelOrder(cellList, i), func(c CellResult) string { return c.Coords[i] })
+	}
+	return rep
+}
+
+// title summarizes the grid shape deterministically.
+func (r *Result) title() string {
+	var dims []string
+	cellList := make([]Cell, len(r.Cells))
+	for i, c := range r.Cells {
+		cellList[i] = c.Cell
+	}
+	dims = append(dims, fmt.Sprintf("%d workloads", len(workloadOrder(cellList))))
+	for i, name := range r.Spec.AxisNames() {
+		dims = append(dims, fmt.Sprintf("%s(%d)", name, len(labelOrder(cellList, i))))
+	}
+	return fmt.Sprintf("parameter sweep: %d cells over %s", len(r.Cells), strings.Join(dims, " x "))
+}

@@ -1,0 +1,340 @@
+// Package sweep is the parameter-space exploration engine layered on the
+// Lab client: a declarative grid Spec (axes over configuration fields
+// plus a workload set) expands into a deduplicated run matrix, cells are
+// sharded across the Lab's bounded worker pool, completed cells are
+// checkpointed to an NDJSON journal so an interrupted sweep resumes
+// without repeating work, and results aggregate into a long-form table
+// with per-axis marginals. Because every cell runs through the Lab's
+// singleflight result cache, overlapping sweeps (and sweeps overlapping
+// plain runs) share simulations instead of repeating them.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/workloads"
+)
+
+// MaxCells caps how many cells one sweep may expand to; larger grids are
+// rejected at validation time (split them into several sweeps).
+const MaxCells = 4096
+
+// Spec is the declarative description of one parameter sweep: the
+// workload set, the per-cell simulation budget, a base configuration
+// every cell starts from, and the axes to vary. The grid is the cartesian
+// product of all non-empty axes over all workloads; axes left empty keep
+// the base configuration's value.
+type Spec struct {
+	// Workloads names the workload set: workload names, suite names
+	// ("spec", "crono", "star", "npb"), or "all". Order is preserved;
+	// duplicates collapse.
+	Workloads []string `json:"workloads"`
+
+	// Budget is the per-cell evaluation budget in committed MT
+	// instructions (0 = the Lab default).
+	Budget uint64 `json:"budget,omitempty"`
+
+	// Base is the configuration each cell starts from before axis values
+	// are applied ({} means the baseline preset).
+	Base lab.ConfigSpec `json:"base,omitempty"`
+
+	// Axes are the dimensions to vary.
+	Axes Axes `json:"axes"`
+}
+
+// Axes lists the values to sweep per configuration field. Each non-empty
+// list becomes one grid dimension, in the (fixed) field order below.
+type Axes struct {
+	Preset       []string `json:"preset,omitempty"`
+	T1           []bool   `json:"t1,omitempty"`
+	ValueReuse   []bool   `json:"value_reuse,omitempty"`
+	FetchBuffer  []bool   `json:"fetch_buffer,omitempty"`
+	Recycle      []bool   `json:"recycle,omitempty"`
+	BOP          []bool   `json:"bop,omitempty"`
+	Stride       []bool   `json:"stride,omitempty"`
+	PrefetchOnly []bool   `json:"prefetch_only,omitempty"`
+
+	BOQSize []int `json:"boq_size,omitempty"`
+	FQSize  []int `json:"fq_size,omitempty"`
+	VQSize  []int `json:"vq_size,omitempty"`
+
+	Version []int `json:"version,omitempty"`
+
+	Cores []lab.CoreSpec `json:"cores,omitempty"`
+}
+
+// axis is one active grid dimension: a name for table columns and error
+// messages, the rendered value labels, and a setter applying value i to a
+// cell's ConfigSpec.
+type axis struct {
+	name   string
+	labels []string
+	apply  func(s *lab.ConfigSpec, i int)
+}
+
+func boolAxis(name string, vals []bool, set func(s *lab.ConfigSpec, v *bool)) axis {
+	labels := make([]string, len(vals))
+	for i, v := range vals {
+		labels[i] = strconv.FormatBool(v)
+	}
+	return axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
+}
+
+func intAxis(name string, vals []int, set func(s *lab.ConfigSpec, v *int)) axis {
+	labels := make([]string, len(vals))
+	for i, v := range vals {
+		labels[i] = strconv.Itoa(v)
+	}
+	return axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
+}
+
+// active returns the spec's active axes in fixed field order.
+func (a Axes) active() []axis {
+	var out []axis
+	if len(a.Preset) > 0 {
+		out = append(out, axis{"preset", a.Preset, func(s *lab.ConfigSpec, i int) { s.Preset = a.Preset[i] }})
+	}
+	add := func(ax axis) { out = append(out, ax) }
+	if len(a.T1) > 0 {
+		add(boolAxis("t1", a.T1, func(s *lab.ConfigSpec, v *bool) { s.T1 = v }))
+	}
+	if len(a.ValueReuse) > 0 {
+		add(boolAxis("value_reuse", a.ValueReuse, func(s *lab.ConfigSpec, v *bool) { s.ValueReuse = v }))
+	}
+	if len(a.FetchBuffer) > 0 {
+		add(boolAxis("fetch_buffer", a.FetchBuffer, func(s *lab.ConfigSpec, v *bool) { s.FetchBuffer = v }))
+	}
+	if len(a.Recycle) > 0 {
+		add(boolAxis("recycle", a.Recycle, func(s *lab.ConfigSpec, v *bool) { s.Recycle = v }))
+	}
+	if len(a.BOP) > 0 {
+		add(boolAxis("bop", a.BOP, func(s *lab.ConfigSpec, v *bool) { s.BOP = v }))
+	}
+	if len(a.Stride) > 0 {
+		add(boolAxis("stride", a.Stride, func(s *lab.ConfigSpec, v *bool) { s.Stride = v }))
+	}
+	if len(a.PrefetchOnly) > 0 {
+		add(boolAxis("prefetch_only", a.PrefetchOnly, func(s *lab.ConfigSpec, v *bool) { s.PrefetchOnly = v }))
+	}
+	if len(a.BOQSize) > 0 {
+		add(intAxis("boq_size", a.BOQSize, func(s *lab.ConfigSpec, v *int) { s.BOQSize = v }))
+	}
+	if len(a.FQSize) > 0 {
+		add(intAxis("fq_size", a.FQSize, func(s *lab.ConfigSpec, v *int) { s.FQSize = v }))
+	}
+	if len(a.VQSize) > 0 {
+		add(intAxis("vq_size", a.VQSize, func(s *lab.ConfigSpec, v *int) { s.VQSize = v }))
+	}
+	if len(a.Version) > 0 {
+		add(intAxis("version", a.Version, func(s *lab.ConfigSpec, v *int) { s.Version = v }))
+	}
+	if len(a.Cores) > 0 {
+		labels := make([]string, len(a.Cores))
+		for i, c := range a.Cores {
+			labels[i] = c.Key()
+		}
+		add(axis{"cores", labels, func(s *lab.ConfigSpec, i int) { c := a.Cores[i]; s.Cores = &c }})
+	}
+	return out
+}
+
+// AxisNames lists the active axis names in grid order (the coordinate
+// columns of the long-form table).
+func (s Spec) AxisNames() []string {
+	var out []string
+	for _, ax := range s.Axes.active() {
+		out = append(out, ax.name)
+	}
+	return out
+}
+
+// Cell is one point of the expanded run matrix.
+type Cell struct {
+	// Index is the cell's position in deterministic expansion order
+	// (workloads outer, then each axis in field order).
+	Index int `json:"cell"`
+
+	// Workload and Config fully determine the simulation.
+	Workload string         `json:"workload"`
+	Config   lab.ConfigSpec `json:"config"`
+
+	// Coords are the cell's axis value labels, aligned with AxisNames.
+	Coords []string `json:"coords,omitempty"`
+
+	// Key is the cell's canonical identity: workload, resolved
+	// configuration key, and budget. Equal keys mean identical simulation
+	// semantics; the journal and the dedup step match on it.
+	Key string `json:"key"`
+}
+
+// ParseSpec decodes a JSON sweep spec, rejecting unknown fields.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: sweep spec: %v", lab.ErrInvalid, err)
+	}
+	// Trailing garbage after the spec object is a malformed spec too.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("%w: sweep spec: trailing data after JSON object", lab.ErrInvalid)
+	}
+	return s, nil
+}
+
+// resolveWorkloads expands workload/suite/"all" entries into a
+// deduplicated workload-name list, preserving first-mention order.
+func resolveWorkloads(entries []string) ([]string, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: workloads: empty (name workloads, suites, or \"all\")", lab.ErrInvalid)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	addW := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for i, e := range entries {
+		switch {
+		case e == "all":
+			for _, w := range workloads.All() {
+				addW(w.Name)
+			}
+		case workloads.ByName(e) != nil:
+			addW(e)
+		default:
+			if ws := workloads.BySuite(e); len(ws) > 0 {
+				for _, w := range ws {
+					addW(w.Name)
+				}
+				continue
+			}
+			return nil, fmt.Errorf("%w: workloads[%d]: unknown workload or suite %q", lab.ErrInvalid, i, e)
+		}
+	}
+	return out, nil
+}
+
+// Expand validates the spec and materializes its deduplicated run matrix
+// in deterministic order: workloads outermost, then each active axis in
+// field order. Cells whose resolved configurations coincide (axis values
+// that alias after preset resolution) collapse to the first occurrence.
+// Any invalid cell fails the whole expansion with the cell's coordinates
+// in the error.
+func (s Spec) Expand() ([]Cell, error) {
+	wls, err := resolveWorkloads(s.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	axes := s.Axes.active()
+	for _, ax := range axes {
+		vals := make(map[string]bool, len(ax.labels))
+		for _, l := range ax.labels {
+			if vals[l] {
+				return nil, fmt.Errorf("%w: axes.%s: duplicate value %s", lab.ErrInvalid, ax.name, l)
+			}
+			vals[l] = true
+		}
+	}
+	total := len(wls)
+	for _, ax := range axes {
+		total *= len(ax.labels)
+		if total > MaxCells {
+			return nil, fmt.Errorf("%w: grid exceeds %d cells (split the sweep)", lab.ErrInvalid, MaxCells)
+		}
+	}
+
+	// idx walks the mixed-radix coordinate vector over the axes.
+	idx := make([]int, len(axes))
+	seen := make(map[string]bool, total)
+	var cells []Cell
+	for _, wl := range wls {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			spec := s.Base
+			coords := make([]string, len(axes))
+			for i, ax := range axes {
+				ax.apply(&spec, idx[i])
+				coords[i] = ax.labels[idx[i]]
+			}
+			cfg, err := spec.Config()
+			if err != nil {
+				return nil, fmt.Errorf("cell %s: %w", cellName(wl, axes, idx), err)
+			}
+			key := fmt.Sprintf("%s|%s@%d", wl, cfg.Key(), s.Budget)
+			if !seen[key] {
+				seen[key] = true
+				cells = append(cells, Cell{
+					Index:    len(cells),
+					Workload: wl,
+					Config:   spec,
+					Coords:   coords,
+					Key:      key,
+				})
+			}
+			if !inc(idx, axes) {
+				break
+			}
+		}
+	}
+	return cells, nil
+}
+
+// inc advances the mixed-radix coordinate vector; false means wrapped.
+func inc(idx []int, axes []axis) bool {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < len(axes[i].labels) {
+			return true
+		}
+		idx[i] = 0
+	}
+	return false
+}
+
+// cellName renders a cell's coordinates for error messages.
+func cellName(wl string, axes []axis, idx []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s", wl)
+	for i, ax := range axes {
+		fmt.Fprintf(&b, " %s=%s", ax.name, ax.labels[idx[i]])
+	}
+	return b.String()
+}
+
+// labelOrder returns an axis's labels in first-seen cell order; used by
+// the marginal tables so rows follow the spec's declared value order.
+func labelOrder(cells []Cell, axisIdx int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range cells {
+		l := c.Coords[axisIdx]
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// workloadOrder lists distinct workloads in cell order.
+func workloadOrder(cells []Cell) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			out = append(out, c.Workload)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"r3dla/internal/lab"
+)
+
+func TestExpandGrid(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"mcf", "libq"},
+		Budget:    3000,
+		Axes: Axes{
+			Preset:  []string{"dla", "r3"},
+			BOQSize: []int{128, 512},
+		},
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Deterministic order: workloads outermost, then axes in field order.
+	if cells[0].Workload != "mcf" || cells[0].Coords[0] != "dla" || cells[0].Coords[1] != "128" {
+		t.Fatalf("cell 0 wrong: %+v", cells[0])
+	}
+	if cells[3].Workload != "mcf" || cells[3].Coords[0] != "r3" || cells[3].Coords[1] != "512" {
+		t.Fatalf("cell 3 wrong: %+v", cells[3])
+	}
+	if cells[4].Workload != "libq" {
+		t.Fatalf("cell 4 wrong workload: %+v", cells[4])
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		if !strings.Contains(c.Key, "@3000") {
+			t.Fatalf("budget missing from key: %s", c.Key)
+		}
+	}
+	if names := spec.AxisNames(); len(names) != 2 || names[0] != "preset" || names[1] != "boq_size" {
+		t.Fatalf("axis names: %v", names)
+	}
+}
+
+// TestExpandDedup asserts cells whose resolved configurations coincide
+// collapse: preset r3 already has t1 on, so the t1=true axis value
+// aliases it.
+func TestExpandDedup(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"mcf"},
+		Base:      lab.ConfigSpec{Preset: "r3"},
+		Axes:      Axes{T1: []bool{true}},
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+
+	// Same thing with a genuinely distinguishing axis: two cells.
+	spec.Axes = Axes{T1: []bool{true, false}}
+	cells, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+}
+
+func TestExpandWorkloadSets(t *testing.T) {
+	// A suite name expands to its workloads; "all" to everything;
+	// duplicates collapse keeping first-mention order.
+	cells, err := Spec{Workloads: []string{"crono", "mcf"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 3 || cells[len(cells)-1].Workload != "mcf" {
+		t.Fatalf("suite expansion wrong: %d cells, last %q", len(cells), cells[len(cells)-1].Workload)
+	}
+	all, err := Spec{Workloads: []string{"all", "mcf"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 25 {
+		t.Fatalf("all: %d cells, want 25", len(all))
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		want string // substring of the field-level error
+	}{
+		{"no workloads", Spec{}, "workloads"},
+		{"unknown workload", Spec{Workloads: []string{"nope"}}, `workloads[0]`},
+		{"duplicate axis value", Spec{Workloads: []string{"mcf"}, Axes: Axes{BOQSize: []int{128, 128}}}, "duplicate value"},
+		{"bad preset", Spec{Workloads: []string{"mcf"}, Axes: Axes{Preset: []string{"marvel"}}}, `preset "marvel"`},
+		{"version out of range", Spec{Workloads: []string{"mcf"}, Base: lab.ConfigSpec{Preset: "dla"}, Axes: Axes{Version: []int{9}}}, "version 9"},
+		{"version under recycle", Spec{Workloads: []string{"mcf"}, Base: lab.ConfigSpec{Preset: "r3"}, Axes: Axes{Version: []int{1}}}, "recycling"},
+		{"version on baseline base", Spec{Workloads: []string{"mcf"}, Axes: Axes{Version: []int{0, 1}}}, "requires a look-ahead preset"},
+		{"bad core model", Spec{Workloads: []string{"mcf"}, Axes: Axes{Cores: []lab.CoreSpec{{Model: "mega"}}}}, `core model "mega"`},
+		{"huge grid", Spec{Workloads: []string{"all"}, Axes: Axes{BOQSize: manyInts(200)}}, "exceeds"},
+	} {
+		_, err := tc.spec.Expand()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, lab.ErrInvalid) {
+			t.Errorf("%s: error %v not tagged ErrInvalid", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q misses %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Invalid cells name their coordinates.
+	_, err := (Spec{
+		Workloads: []string{"mcf"},
+		Base:      lab.ConfigSpec{Preset: "dla"},
+		Axes:      Axes{Version: []int{0, 9}},
+	}).Expand()
+	if err == nil || !strings.Contains(err.Error(), "workload=mcf version=9") {
+		t.Fatalf("cell coordinates missing from error: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"workloads":["mcf"],"budget":5000,"axes":{"preset":["dla","r3"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Budget != 5000 || len(spec.Axes.Preset) != 2 {
+		t.Fatalf("parsed wrong: %+v", spec)
+	}
+	for _, bad := range []string{
+		`{"workloads":["mcf"],"bogus":1}`,          // unknown field
+		`{"workloads":["mcf"],"axes":{"boq":[1]}}`, // unknown axis
+		`not json`,                       // malformed
+		`{"workloads":["mcf"]} trailing`, // trailing data
+		`{"workloads":["mcf"],"axes":{"boq_size":["five"]}}`, // wrong type
+	} {
+		if _, err := ParseSpec([]byte(bad)); !errors.Is(err, lab.ErrInvalid) {
+			t.Errorf("%s: error %v not tagged ErrInvalid", bad, err)
+		}
+	}
+}
+
+func TestCoreSpecAxis(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"mcf"},
+		Axes:      Axes{Cores: []lab.CoreSpec{{Model: "default"}, {Model: "wide"}, {Model: "half", ROB: 512}}},
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	if cells[2].Coords[0] != "half+rob=512" {
+		t.Fatalf("core axis label: %q", cells[2].Coords[0])
+	}
+	// Distinct core configs must not alias in the canonical key.
+	if cells[0].Key == cells[1].Key || cells[1].Key == cells[2].Key {
+		t.Fatalf("core cells alias: %q / %q / %q", cells[0].Key, cells[1].Key, cells[2].Key)
+	}
+}
+
+func manyInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 8 + i
+	}
+	return out
+}
