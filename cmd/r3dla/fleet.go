@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"r3dla/internal/fleet"
+)
+
+// parseBackends turns the -backends flag value (comma-separated host:port
+// addresses or URLs of r3dlad instances) into remote backends.
+func parseBackends(s string) ([]*fleet.Remote, error) {
+	addrs := splitList(s)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-backends: no addresses")
+	}
+	remotes := make([]*fleet.Remote, 0, len(addrs))
+	for _, a := range addrs {
+		r, err := fleet.NewRemote(a)
+		if err != nil {
+			return nil, err
+		}
+		remotes = append(remotes, r)
+	}
+	return remotes, nil
+}
+
+// newFleetPool assembles the router the commands dispatch through. jobs
+// bounds total in-flight requests across the fleet; <= 0 defaults to
+// 16 per backend — enough to keep every r3dlad busy, comfortably under
+// its default -inflight 64 admission bound, and a cap on client-side
+// sockets for large sweeps. hedge > 0 duplicates straggler requests
+// onto a second backend.
+func newFleetPool(remotes []*fleet.Remote, jobs int, hedge time.Duration) (*fleet.Pool, error) {
+	backends := make([]fleet.Backend, len(remotes))
+	for i, r := range remotes {
+		backends[i] = r
+	}
+	if jobs <= 0 {
+		jobs = 16 * len(remotes)
+	}
+	opts := []fleet.PoolOption{fleet.WithJobs(jobs)}
+	if hedge > 0 {
+		opts = append(opts, fleet.WithHedgeAfter(hedge))
+	}
+	return fleet.NewPool(backends, opts...)
+}
+
+// verifyFleetBudget asserts every backend advertises the client's budget
+// as its default. Experiments execute outright at the serving backend's
+// default; and although runs and sweep cells carry their budget
+// explicitly, per-workload preparation (profiling + skeleton generation)
+// runs at the backend's training budget — half its -budget — so a
+// backend started with a different -budget generates different skeletons
+// and silently produces output that matches no single-process run. The
+// mismatch is an error, not a warning, on every fleet path.
+func verifyFleetBudget(ctx context.Context, remotes []*fleet.Remote, budget uint64) error {
+	for _, r := range remotes {
+		// Bound each probe: an unreachable backend must become an error,
+		// not an indefinite hang before any work starts.
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		h, err := r.Health(pctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("backend %s: %v", r.Name(), err)
+		}
+		if h.Budget != budget {
+			return fmt.Errorf("backend %s serves budget %d, client asked for %d — skeletons would differ (start r3dlad with -budget %d)",
+				r.Name(), h.Budget, budget, budget)
+		}
+	}
+	return nil
+}

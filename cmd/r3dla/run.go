@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// runRun is the `r3dla run` subcommand: one simulation — a workload, a
+// configuration, a budget — executed locally or routed through a fleet of
+// r3dlad backends (-backends). The result is the RunResult JSON on
+// stdout, byte-identical to the service's POST /v1/runs body for the same
+// request, wherever it ran.
+func runRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "", "workload name (required; see wlinfo)")
+		preset   = fs.String("preset", "baseline", "configuration preset: baseline, dla, r3")
+		config   = fs.String("config", "", "full ConfigSpec JSON (overrides -preset)")
+		budget   = fs.Uint64("budget", 150_000, "committed instructions to simulate")
+		jobs     = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
+		backends = fs.String("backends", "", "comma-separated r3dlad addresses; empty = run locally")
+		hedge    = fs.Duration("hedge", 0, "duplicate straggler requests onto a second backend after this delay (0 = off)")
+	)
+	fs.Parse(args)
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "r3dla run: -workload is required")
+		os.Exit(2)
+	}
+
+	spec := lab.ConfigSpec{Preset: *preset}
+	if *config != "" {
+		dec := json.NewDecoder(bytes.NewReader([]byte(*config)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla run: -config: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	req := lab.RunRequest{Workload: *workload, Config: spec, Budget: *budget}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var runner sweep.Runner
+	if *backends != "" {
+		remotes, err := parseBackends(*backends)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+			os.Exit(2)
+		}
+		if err := verifyFleetBudget(ctx, remotes, *budget); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+			os.Exit(1)
+		}
+		pool, err := newFleetPool(remotes, *jobs, *hedge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+			os.Exit(1)
+		}
+		defer pool.Close()
+		runner = pool
+	} else {
+		l, err := lab.New(lab.WithBudget(*budget), lab.WithJobs(*jobs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+			os.Exit(1)
+		}
+		runner = l
+	}
+
+	start := time.Now()
+	res, err := runner.Run(ctx, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "r3dla run: %s in %v\n", *workload, time.Since(start).Round(time.Millisecond))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -36,12 +36,14 @@ func runSweep(args []string) {
 		versions  = fs.String("version", "", "fixed skeleton version axis: comma-separated ints")
 		cores     = fs.String("cores", "", "core-model axis: comma-separated default,wide,half")
 		budget    = fs.Uint64("budget", 150_000, "committed instructions per cell")
-		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
 		journal   = fs.String("journal", "", "checkpoint journal path (NDJSON, one cell per line)")
 		resume    = fs.Bool("resume", false, "skip cells already checkpointed in -journal")
 		format    = fs.String("format", "text", "comma-separated output formats: text, json, csv")
 		outDir    = fs.String("out", "results", "directory for json/csv output files")
 		quiet     = fs.Bool("q", false, "suppress progress reporting on stderr")
+		backends  = fs.String("backends", "", "comma-separated r3dlad addresses; empty = run locally")
+		hedge     = fs.Duration("hedge", 0, "fleet: duplicate straggler cells onto a second backend after this delay (0 = off)")
 	)
 	fs.Parse(args)
 
@@ -95,13 +97,36 @@ func runSweep(args []string) {
 		}
 	}
 
-	l, err := lab.New(lab.WithBudget(spec.Budget), lab.WithJobs(*jobs))
-	if err != nil {
-		fatalf("%v", err)
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Cells run through a Runner: the in-process Lab, or a fleet pool
+	// routing cells across r3dlad backends. The journal sits on this side
+	// of the boundary, so checkpoint/resume works identically either way;
+	// the backends must advertise the sweep's budget (verified up front),
+	// because skeleton preparation runs at the server's training budget.
+	var runner sweep.Runner
+	if *backends != "" {
+		remotes, err := parseBackends(*backends)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := verifyFleetBudget(ctx, remotes, spec.Budget); err != nil {
+			fatalf("%v", err)
+		}
+		pool, err := newFleetPool(remotes, *jobs, *hedge)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer pool.Close()
+		runner = pool
+	} else {
+		l, err := lab.New(lab.WithBudget(spec.Budget), lab.WithJobs(*jobs))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runner = l
+	}
 
 	opts := sweep.Options{Journal: *journal, Resume: *resume}
 	if !*quiet {
@@ -114,7 +139,7 @@ func runSweep(args []string) {
 				ev.Done, ev.Total, ev.Cell.Workload, strings.Join(ev.Cell.Coords, " "), state)
 		}
 	}
-	res, err := sweep.Run(ctx, l, spec, opts)
+	res, err := sweep.Run(ctx, runner, spec, opts)
 	if err != nil {
 		if *journal != "" && ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "r3dla sweep: interrupted; resume with -journal %s -resume\n", *journal)

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	GET  /v1/healthz              liveness + request counters
+//	GET  /v1/stats                live load: inflight/capacity, budget caps, cache-miss runs
 //	GET  /v1/experiments          regenerable paper artifacts
 //	GET  /v1/workloads            the evaluation suite
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1: NDJSON progress)
@@ -20,7 +21,11 @@
 //
 // A disconnecting client cancels its in-flight simulation cooperatively
 // (accounted as a 499 in /v1/healthz counters); SIGINT/SIGTERM drain the
-// server gracefully.
+// server gracefully. Several r3dlad instances form a fleet: point
+// `r3dla run|exp|sweep -backends host1:8080,host2:8080` at them and the
+// client routes work least-loaded (balancing on /v1/stats), retries
+// failed cells on surviving backends, and produces output byte-identical
+// to a single-process run (README "Running a cluster", DESIGN.md §7).
 package main
 
 import (

@@ -16,6 +16,41 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// RunOrdered fans out do(i) for i in [0, n) — one goroutine per index —
+// and delivers results in index order: onResult (when non-nil) receives
+// each result as soon as its ordered prefix completes, so a live consumer
+// still sees deterministic output regardless of scheduling. It is the
+// scheduling core of Run, shared with the fleet's distributed experiment
+// dispatch, where "do" is an HTTP request instead of a local driver.
+func RunOrdered(n int, do func(i int) Result, onResult func(Result)) []Result {
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := make([]bool, n)
+	next := 0
+	finish := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = r
+		done[i] = true
+		for next < n && done[next] {
+			if onResult != nil {
+				onResult(results[next])
+			}
+			next++
+		}
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			finish(i, do(i))
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
 // Run executes the named experiments on c's worker pool and returns their
 // results in the order of ids. Experiments run concurrently, sharing
 // prepared workloads and memoized configuration runs through c, but all
@@ -41,52 +76,30 @@ func Run(ctx context.Context, c *Context, ids []string, onResult func(Result)) (
 		cc = c.WithCancel(ctx)
 	}
 
-	results := make([]Result, len(exps))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	done := make([]bool, len(exps))
-	next := 0
-	finish := func(i int, r Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		results[i] = r
-		done[i] = true
-		for next < len(exps) && done[next] {
-			if onResult != nil {
-				onResult(results[next])
-			}
-			next++
-		}
-	}
-
-	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e Experiment) {
-			defer wg.Done()
-			start := time.Now()
-			r := Result{ID: e.ID, Title: e.Title}
-			func() {
-				defer func() {
-					if p := recover(); p != nil {
-						r.Report = nil
-						if cp, ok := p.(canceled); ok {
-							r.Err = cp.err
-						} else {
-							r.Err = fmt.Errorf("exp %s panicked: %v", e.ID, p)
-						}
+	results := RunOrdered(len(exps), func(i int) Result {
+		e := exps[i]
+		start := time.Now()
+		r := Result{ID: e.ID, Title: e.Title}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.Report = nil
+					if cp, ok := p.(canceled); ok {
+						r.Err = cp.err
+					} else {
+						r.Err = fmt.Errorf("exp %s panicked: %v", e.ID, p)
 					}
-				}()
-				cc.checkCanceled()
-				rep := e.Run(cc)
-				rep.ID, rep.Title = e.ID, e.Title
-				r.Report = rep
+				}
 			}()
-			r.Elapsed = time.Since(start)
-			cc.emit(Event{Stage: "exp", Exp: e.ID, Elapsed: r.Elapsed})
-			finish(i, r)
-		}(i, e)
-	}
-	wg.Wait()
+			cc.checkCanceled()
+			rep := e.Run(cc)
+			rep.ID, rep.Title = e.ID, e.Title
+			r.Report = rep
+		}()
+		r.Elapsed = time.Since(start)
+		cc.emit(Event{Stage: "exp", Exp: e.ID, Elapsed: r.Elapsed})
+		return r
+	}, onResult)
 
 	for _, r := range results {
 		if r.Err != nil && ctx != nil && ctx.Err() != nil {

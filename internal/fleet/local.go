@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"context"
+
+	"r3dla/internal/lab"
+)
+
+// Local is the in-process Backend: requests execute on the wrapped Lab's
+// worker pool and hit its singleflight caches directly. A Local member in
+// a pool lets one process contribute its own cores alongside remote
+// r3dlad instances.
+type Local struct {
+	lab *lab.Lab
+}
+
+// NewLocal wraps a Lab as a Backend.
+func NewLocal(l *lab.Lab) *Local { return &Local{lab: l} }
+
+// Lab returns the wrapped Lab (the CLI reads its cache instrumentation).
+func (b *Local) Lab() *lab.Lab { return b.lab }
+
+func (b *Local) Name() string { return "local" }
+
+func (b *Local) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	return b.lab.Run(ctx, req)
+}
+
+func (b *Local) Experiment(ctx context.Context, id string) (*lab.Report, error) {
+	return b.lab.Experiment(ctx, lab.ExperimentRequest{ID: id})
+}
+
+// Check always succeeds: an in-process backend is alive by construction.
+func (b *Local) Check(ctx context.Context) error { return nil }
+
+func (b *Local) Close() error { return nil }

@@ -1,0 +1,585 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r3dla/internal/exp"
+	"r3dla/internal/lab"
+)
+
+// Pool routes requests across a set of backends. Dispatch is least-loaded
+// (client-side inflight accounting, refined by the server-reported load
+// from /v1/stats when a member exposes it); a member whose request fails
+// with a backend fault is marked down and the cell is retried on a
+// different member (bounded attempts, failed members excluded); a
+// background prober revives dead members with exponential backoff; and an
+// optional hedge duplicates straggler requests onto a second member —
+// safe because every request is deterministic, so whichever copy finishes
+// first carries the same bytes.
+//
+// The pool memoizes run results under the canonical
+// workload|configKey@budget key with singleflight semantics, mirroring
+// the Lab's own cache: concurrent identical cells collapse onto one
+// dispatch, and overlapping sweeps share results client-side no matter
+// which backend computed them.
+type Pool struct {
+	members []*member
+
+	retries      int           // max attempts per request
+	hedge        time.Duration // 0 = no hedging
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	maxBackoff   time.Duration
+	jobs         chan struct{} // total-dispatch semaphore; nil = unlimited
+
+	mu      sync.Mutex
+	results map[string]*lab.RunResult
+	calls   map[string]*flight
+
+	calls64 atomic.Int64 // backend calls actually issued (retries and hedges count)
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// member wraps one backend with its routing state.
+type member struct {
+	b        Backend
+	inflight atomic.Int64 // requests this pool currently has on the member
+	load     atomic.Int64 // server-reported inflight at the last stats probe
+	healthy  atomic.Bool
+
+	mu        sync.Mutex
+	backoff   time.Duration
+	nextProbe time.Time
+	lastErr   error
+}
+
+// flight is one in-progress singleflight dispatch.
+type flight struct {
+	done chan struct{}
+	res  *lab.RunResult
+	err  error
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// WithRetries bounds how many backends one request may be attempted on
+// before its last error surfaces (default 3; each attempt excludes the
+// members that already failed it).
+func WithRetries(n int) PoolOption {
+	return func(p *Pool) {
+		if n > 0 {
+			p.retries = n
+		}
+	}
+}
+
+// WithHedgeAfter duplicates a request onto a second backend when the
+// first has not answered within d; the first successful copy wins and the
+// other is canceled. 0 (the default) disables hedging.
+func WithHedgeAfter(d time.Duration) PoolOption {
+	return func(p *Pool) { p.hedge = d }
+}
+
+// WithProbeEvery sets the health-probe cadence for dead members (default
+// 5s; the re-probe backoff starts here and doubles up to 8x).
+func WithProbeEvery(d time.Duration) PoolOption {
+	return func(p *Pool) {
+		if d > 0 {
+			p.probeEvery = d
+		}
+	}
+}
+
+// WithProbeTimeout caps each health probe (default 3s).
+func WithProbeTimeout(d time.Duration) PoolOption {
+	return func(p *Pool) {
+		if d > 0 {
+			p.probeTimeout = d
+		}
+	}
+}
+
+// WithJobs bounds how many requests the pool has in flight across all
+// members (<= 0 = unlimited, the default: each backend already bounds its
+// own compute, and admission control sheds the rest).
+func WithJobs(n int) PoolOption {
+	return func(p *Pool) {
+		if n > 0 {
+			p.jobs = make(chan struct{}, n)
+		}
+	}
+}
+
+// NewPool builds a router over the given backends and starts its health
+// prober. Members start healthy (the first failed dispatch demotes them);
+// Close stops the prober and closes every backend.
+func NewPool(backends []Backend, opts ...PoolOption) (*Pool, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("%w: empty pool", ErrNoBackends)
+	}
+	p := &Pool{
+		retries:      3,
+		probeEvery:   5 * time.Second,
+		probeTimeout: 3 * time.Second,
+		results:      make(map[string]*lab.RunResult),
+		calls:        make(map[string]*flight),
+		stop:         make(chan struct{}),
+	}
+	for _, b := range backends {
+		m := &member{b: b}
+		m.healthy.Store(true)
+		p.members = append(p.members, m)
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.maxBackoff = 8 * p.probeEvery
+	p.wg.Add(1)
+	go p.prober()
+	return p, nil
+}
+
+func (p *Pool) Name() string { return fmt.Sprintf("fleet(%d)", len(p.members)) }
+
+// Close stops the health prober and closes every member backend.
+func (p *Pool) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		for _, m := range p.members {
+			if cerr := m.b.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// BackendCalls reports how many requests were actually issued to members
+// (cache hits excluded; retries and hedges each count). The resume and
+// dedup tests assert against it the way lab.RunCount is asserted locally.
+func (p *Pool) BackendCalls() int64 { return p.calls64.Load() }
+
+// MemberStatus is one member's routing view.
+type MemberStatus struct {
+	Name     string
+	Healthy  bool
+	Inflight int64
+}
+
+// Status snapshots every member's routing state in construction order.
+func (p *Pool) Status() []MemberStatus {
+	out := make([]MemberStatus, len(p.members))
+	for i, m := range p.members {
+		out[i] = MemberStatus{Name: m.b.Name(), Healthy: m.healthy.Load(), Inflight: m.inflight.Load()}
+	}
+	return out
+}
+
+// ------------------------------------------------------------- dispatch
+
+// Run executes one simulation somewhere in the fleet. Identical
+// concurrent requests collapse onto one dispatch, and completed results
+// are served from the client-side cache (results are deterministic, so
+// the cache never goes stale).
+func (p *Pool) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	cfg, err := req.Config.Config()
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%s@%d", req.Workload, cfg.Key(), req.Budget)
+	for {
+		p.mu.Lock()
+		if res, ok := p.results[key]; ok {
+			p.mu.Unlock()
+			return res, nil
+		}
+		if fl, ok := p.calls[key]; ok {
+			p.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					return fl.res, nil
+				}
+				// The leader failed. If it failed because its own caller
+				// went away, take over as the new leader; any other error
+				// (validation, exhausted retries) is this caller's too.
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					continue
+				}
+				return nil, fl.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		p.calls[key] = fl
+		p.mu.Unlock()
+
+		res, err := dispatch(ctx, p, func(ctx context.Context, m *member) (*lab.RunResult, error) {
+			return m.b.Run(ctx, req)
+		})
+		p.mu.Lock()
+		delete(p.calls, key)
+		if err == nil {
+			p.results[key] = res
+		}
+		p.mu.Unlock()
+		fl.res, fl.err = res, err
+		close(fl.done)
+		return res, err
+	}
+}
+
+// Experiment regenerates one artifact somewhere in the fleet (at the
+// serving backend's budget — the CLI verifies the fleet is homogeneous).
+func (p *Pool) Experiment(ctx context.Context, id string) (*lab.Report, error) {
+	return dispatch(ctx, p, func(ctx context.Context, m *member) (*lab.Report, error) {
+		return m.b.Experiment(ctx, id)
+	})
+}
+
+// Experiments regenerates several artifacts concurrently across the
+// fleet, delivering results in id order exactly like lab.Experiments —
+// assembled output is byte-identical to a local run at the same budget.
+func (p *Pool) Experiments(ctx context.Context, ids []string, onResult func(lab.ExperimentResult)) ([]lab.ExperimentResult, error) {
+	infos := make([]lab.ExperimentInfo, len(ids))
+	for i, id := range ids {
+		info, ok := lab.ExperimentByID(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", lab.ErrUnknownExperiment, id)
+		}
+		infos[i] = info
+	}
+	results := exp.RunOrdered(len(ids), func(i int) exp.Result {
+		start := time.Now()
+		rep, err := p.Experiment(ctx, ids[i])
+		return exp.Result{ID: infos[i].ID, Title: infos[i].Title, Report: rep, Err: err, Elapsed: time.Since(start)}
+	}, onResult)
+	if ctx.Err() != nil {
+		for _, r := range results {
+			if r.Err != nil {
+				return results, ctx.Err()
+			}
+		}
+	}
+	return results, nil
+}
+
+// Overload backpressure: when a member sheds a request with 503 it is
+// soft-excluded so the next pick prefers a different member; when every
+// candidate is shedding, the dispatcher waits (doubling from
+// overloadWait up to overloadWaitMax) and tries the whole pool again, up
+// to overloadRounds waits before the overload surfaces as the error.
+// Capacity normally frees as the pool's own in-flight requests complete,
+// so a sweep larger than the fleet's admission capacity drains instead
+// of failing.
+const (
+	overloadRounds  = 10
+	overloadWait    = 25 * time.Millisecond
+	overloadWaitMax = time.Second
+)
+
+// dispatch runs call against the fleet: least-loaded member first,
+// bounded retries on different members for hard faults, backpressure
+// waits for overload, the first attempt optionally hedged. Non-retryable
+// errors (validation, the caller's cancellation) surface immediately.
+func dispatch[T any](ctx context.Context, p *Pool, call func(context.Context, *member) (T, error)) (T, error) {
+	var zero T
+	if p.jobs != nil {
+		select {
+		case p.jobs <- struct{}{}:
+			defer func() { <-p.jobs }()
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	excluded := make(map[*member]bool) // hard faults: never retried here
+	shedding := make(map[*member]bool) // overloaded: avoided, then re-offered
+	var lastErr error
+	rounds, wait := 0, overloadWait
+	for attempt := 0; attempt < p.retries; {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		avoid := excluded
+		if len(shedding) > 0 {
+			avoid = make(map[*member]bool, len(excluded)+len(shedding))
+			for m := range excluded {
+				avoid[m] = true
+			}
+			for m := range shedding {
+				avoid[m] = true
+			}
+		}
+		m := p.pick(avoid)
+		if m == nil {
+			if len(shedding) == 0 || rounds >= overloadRounds {
+				break
+			}
+			rounds++
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+			if wait *= 2; wait > overloadWaitMax {
+				wait = overloadWaitMax
+			}
+			clear(shedding) // re-offer everyone; capacity may have freed
+			continue
+		}
+		res, fails := hedged(ctx, p, m, avoid, call, attempt == 0)
+		if fails == nil {
+			return res, nil
+		}
+		// Classify every member that failed this attempt (with hedging,
+		// the primary and the hedge can fail differently — each failure
+		// is attributed to the member that produced it).
+		for _, f := range fails {
+			if !Retryable(f.err) {
+				return zero, f.err
+			}
+			lastErr = f.err
+			if errors.Is(f.err, ErrOverloaded) {
+				shedding[f.m] = true // alive, just busy — no attempt consumed
+			} else {
+				excluded[f.m] = true
+				attempt++
+			}
+		}
+	}
+	if lastErr == nil {
+		return zero, ErrNoBackends
+	}
+	return zero, fmt.Errorf("fleet: request failed on %d backend(s), last: %w", len(excluded)+len(shedding), lastErr)
+}
+
+// runMember issues one call on m with inflight accounting; a hard
+// backend fault demotes the member so the prober owns its recovery (an
+// overloaded member stays healthy — it answered, it is just full).
+func runMember[T any](ctx context.Context, p *Pool, m *member, call func(context.Context, *member) (T, error)) (T, error) {
+	p.calls64.Add(1)
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	res, err := call(ctx, m)
+	if err != nil && Retryable(err) && !errors.Is(err, ErrOverloaded) {
+		p.markDown(m, err)
+	}
+	return res, err
+}
+
+// memberFail attributes one failed attempt to the member that produced
+// it, so the dispatcher sheds or excludes the right one.
+type memberFail struct {
+	m   *member
+	err error
+}
+
+// hedged runs one attempt on m; when hedging is enabled and m has not
+// answered within the hedge delay, the same request is duplicated onto a
+// different member and the first success wins (the loser is canceled).
+// On success fails is nil; otherwise it lists every member that failed,
+// each with its own error. The hedge launch borrows a jobs slot
+// non-blockingly — hedging uses spare capacity, it never exceeds the
+// pool's in-flight bound.
+func hedged[T any](ctx context.Context, p *Pool, m *member, avoid map[*member]bool, call func(context.Context, *member) (T, error), mayHedge bool) (T, []memberFail) {
+	var zero T
+	if p.hedge <= 0 || !mayHedge {
+		res, err := runMember(ctx, p, m, call)
+		if err == nil {
+			return res, nil
+		}
+		return zero, []memberFail{{m, err}}
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		m   *member
+		res T
+		err error
+	}
+	outc := make(chan outcome, 2)
+	go func() {
+		res, err := runMember(actx, p, m, call)
+		outc <- outcome{m, res, err}
+	}()
+	outstanding := 1
+	hedgeAt := time.After(p.hedge)
+	var fails []memberFail
+	for {
+		select {
+		case o := <-outc:
+			outstanding--
+			if o.err == nil {
+				return o.res, nil
+			}
+			fails = append(fails, memberFail{o.m, o.err})
+			if outstanding == 0 {
+				return zero, fails
+			}
+		case <-hedgeAt:
+			hedgeAt = nil // fire at most once; a nil channel never selects
+			ex := make(map[*member]bool, len(avoid)+1)
+			for k := range avoid {
+				ex[k] = true
+			}
+			ex[m] = true
+			h := p.pick(ex)
+			if h == nil {
+				continue
+			}
+			release := func() {}
+			if p.jobs != nil {
+				select {
+				case p.jobs <- struct{}{}:
+					release = func() { <-p.jobs }
+				default:
+					continue // no spare capacity; don't hedge
+				}
+			}
+			outstanding++
+			go func() {
+				res, err := runMember(actx, p, h, call)
+				release()
+				outc <- outcome{h, res, err}
+			}()
+		}
+	}
+}
+
+// pick selects the least-loaded eligible member: healthy and not
+// excluded, ordered by this pool's inflight count, then the
+// server-reported load from the last stats probe, then construction
+// order. When every healthy member is excluded it falls back to unproven
+// members — a backend that just came back serves traffic before the
+// prober notices.
+func (p *Pool) pick(excluded map[*member]bool) *member {
+	best := p.pickFrom(excluded, true)
+	if best == nil {
+		best = p.pickFrom(excluded, false)
+	}
+	return best
+}
+
+func (p *Pool) pickFrom(excluded map[*member]bool, needHealthy bool) *member {
+	var best *member
+	var bestIn, bestLoad int64
+	for _, m := range p.members {
+		if excluded[m] || (needHealthy && !m.healthy.Load()) {
+			continue
+		}
+		in, load := m.inflight.Load(), m.load.Load()
+		if best == nil || in < bestIn || (in == bestIn && load < bestLoad) {
+			best, bestIn, bestLoad = m, in, load
+		}
+	}
+	return best
+}
+
+// --------------------------------------------------------------- health
+
+// Check reports whether any member can take work.
+func (p *Pool) Check(ctx context.Context) error {
+	for _, m := range p.members {
+		if m.healthy.Load() {
+			return nil
+		}
+	}
+	var lastErr error
+	for _, m := range p.members {
+		if err := m.b.Check(ctx); err == nil {
+			p.revive(m)
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("%w: last probe: %v", ErrNoBackends, lastErr)
+}
+
+// markDown demotes a member after a backend fault; the prober re-probes
+// it with backoff until it answers again.
+func (p *Pool) markDown(m *member, err error) {
+	if m.healthy.CompareAndSwap(true, false) {
+		m.mu.Lock()
+		m.backoff = p.probeEvery
+		m.nextProbe = time.Now().Add(m.backoff)
+		m.lastErr = err
+		m.mu.Unlock()
+	}
+}
+
+func (p *Pool) revive(m *member) {
+	m.mu.Lock()
+	m.backoff = 0
+	m.lastErr = nil
+	m.mu.Unlock()
+	m.healthy.Store(true)
+}
+
+// prober periodically re-probes dead members (with per-member exponential
+// backoff) and refreshes healthy members' server-reported load.
+func (p *Pool) prober() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *Pool) probeAll() {
+	now := time.Now()
+	for _, m := range p.members {
+		if m.healthy.Load() {
+			if lr, ok := m.b.(loadReporter); ok {
+				ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
+				if st, err := lr.Stats(ctx); err == nil {
+					m.load.Store(st.Inflight)
+				}
+				cancel()
+			}
+			continue
+		}
+		m.mu.Lock()
+		due := !now.Before(m.nextProbe)
+		m.mu.Unlock()
+		if !due {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
+		err := m.b.Check(ctx)
+		cancel()
+		if err == nil {
+			p.revive(m)
+			continue
+		}
+		m.mu.Lock()
+		m.backoff *= 2
+		if m.backoff > p.maxBackoff {
+			m.backoff = p.maxBackoff
+		}
+		if m.backoff == 0 {
+			m.backoff = p.probeEvery
+		}
+		m.nextProbe = time.Now().Add(m.backoff)
+		m.lastErr = err
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,396 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"r3dla/internal/lab"
+)
+
+// fakeBackend is a scriptable in-process Backend for router tests: no
+// HTTP, no simulation — just the behaviors the pool routes around.
+type fakeBackend struct {
+	name  string
+	calls atomic.Int64
+	run   func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error)
+	exp   func(ctx context.Context, id string) (*lab.Report, error)
+	check func(ctx context.Context) error
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+func (f *fakeBackend) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	f.calls.Add(1)
+	return f.run(ctx, req)
+}
+func (f *fakeBackend) Experiment(ctx context.Context, id string) (*lab.Report, error) {
+	f.calls.Add(1)
+	if f.exp == nil {
+		return &lab.Report{ID: id}, nil
+	}
+	return f.exp(ctx, id)
+}
+func (f *fakeBackend) Check(ctx context.Context) error {
+	if f.check == nil {
+		return nil
+	}
+	return f.check(ctx)
+}
+func (f *fakeBackend) Close() error { return nil }
+
+// okRun returns a canned deterministic result.
+func okRun(name string) func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+	return func(_ context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		return &lab.RunResult{Workload: req.Workload, Config: name, Budget: req.Budget, IPC: 1}, nil
+	}
+}
+
+// testReq builds a valid request; distinct budgets make distinct cache keys.
+func testReq(budget uint64) lab.RunRequest {
+	return lab.RunRequest{Workload: "mcf", Config: lab.ConfigSpec{Preset: "dla"}, Budget: budget}
+}
+
+func newTestPool(t *testing.T, backends []Backend, opts ...PoolOption) *Pool {
+	t.Helper()
+	p, err := NewPool(backends, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPoolLeastLoaded pins the routing rule: with the first member busy,
+// the next request goes to the idle one.
+func TestPoolLeastLoaded(t *testing.T) {
+	release := make(chan struct{})
+	b0 := &fakeBackend{name: "b0", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return okRun("b0")(ctx, req)
+	}}
+	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
+	p := newTestPool(t, []Backend{b0, b1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Run(context.Background(), testReq(100)); err != nil {
+			t.Errorf("blocked run: %v", err)
+		}
+	}()
+	// Wait until the first request occupies b0, then dispatch another.
+	for i := 0; ; i++ {
+		if p.Status()[0].Inflight == 1 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("first request never reached b0")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res, err := p.Run(context.Background(), testReq(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "b1" {
+		t.Fatalf("second request served by %s, want the idle b1", res.Config)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestPoolRetryExcludesFailedBackend: a member that hard-faults is
+// excluded from the retry, which lands on the other member; the faulty
+// member is marked down for the prober to revive.
+func TestPoolRetryExcludesFailedBackend(t *testing.T) {
+	b0 := &fakeBackend{name: "b0", run: func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+		return nil, fmt.Errorf("%w: injected connection drop", ErrUnavailable)
+	}}
+	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
+	p := newTestPool(t, []Backend{b0, b1})
+
+	res, err := p.Run(context.Background(), testReq(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "b1" {
+		t.Fatalf("served by %s, want the retry on b1", res.Config)
+	}
+	if got := b0.calls.Load(); got != 1 {
+		t.Fatalf("b0 called %d times, want 1", got)
+	}
+	if st := p.Status(); st[0].Healthy || !st[1].Healthy {
+		t.Fatalf("health after fault: %+v", st)
+	}
+	// With b0 down, fresh requests route straight to b1.
+	if _, err := p.Run(context.Background(), testReq(200)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b0.calls.Load(); got != 1 {
+		t.Fatalf("down member still receiving traffic (%d calls)", got)
+	}
+}
+
+// TestPoolBoundedAttempts: when every member faults, the request fails
+// after at most WithRetries attempts, wrapping the last backend error.
+func TestPoolBoundedAttempts(t *testing.T) {
+	fail := func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+		return nil, fmt.Errorf("%w: down", ErrUnavailable)
+	}
+	b := []Backend{
+		&fakeBackend{name: "b0", run: fail},
+		&fakeBackend{name: "b1", run: fail},
+		&fakeBackend{name: "b2", run: fail},
+	}
+	p := newTestPool(t, b, WithRetries(2))
+	_, err := p.Run(context.Background(), testReq(100))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if got := p.BackendCalls(); got != 2 {
+		t.Fatalf("issued %d backend calls, want 2 (bounded attempts)", got)
+	}
+}
+
+// TestPoolNonRetryableFailsFast: validation-class errors surface
+// immediately instead of burning attempts on other members.
+func TestPoolNonRetryableFailsFast(t *testing.T) {
+	b0 := &fakeBackend{name: "b0", run: func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+		return nil, fmt.Errorf("%w: %q", lab.ErrUnknownWorkload, "mcf")
+	}}
+	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
+	p := newTestPool(t, []Backend{b0, b1})
+	_, err := p.Run(context.Background(), testReq(100))
+	if !errors.Is(err, lab.ErrUnknownWorkload) {
+		t.Fatalf("want ErrUnknownWorkload, got %v", err)
+	}
+	if got := p.BackendCalls(); got != 1 {
+		t.Fatalf("issued %d backend calls, want 1 (no retry on validation errors)", got)
+	}
+	if !p.Status()[0].Healthy {
+		t.Fatal("validation error must not mark the member down")
+	}
+	// A locally invalid config never reaches a backend at all.
+	bad := lab.RunRequest{Workload: "mcf", Config: lab.ConfigSpec{Preset: "nope"}}
+	if _, err := p.Run(context.Background(), bad); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("invalid config: %v", err)
+	}
+	if got := p.BackendCalls(); got != 1 {
+		t.Fatalf("invalid config was dispatched (%d calls)", got)
+	}
+}
+
+// TestPoolSingleflight: concurrent identical requests collapse onto one
+// dispatch, and completed results are served from the client-side cache.
+func TestPoolSingleflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	b0 := &fakeBackend{name: "b0", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		close(started)
+		<-release
+		return okRun("b0")(ctx, req)
+	}}
+	p := newTestPool(t, []Backend{b0})
+
+	var wg sync.WaitGroup
+	results := make([]*lab.RunResult, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Run(context.Background(), testReq(100))
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	<-started
+	// Both callers are now keyed to the same flight; release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := p.BackendCalls(); got != 1 {
+		t.Fatalf("identical concurrent requests issued %d backend calls, want 1", got)
+	}
+	if results[0] != results[1] {
+		t.Fatal("waiters did not share the leader's result")
+	}
+	// Completed results are cached: a later identical request is free.
+	if _, err := p.Run(context.Background(), testReq(100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BackendCalls(); got != 1 {
+		t.Fatalf("cache miss on a completed key (%d calls)", got)
+	}
+}
+
+// TestPoolOverloadBackpressure: admission-control shedding (503) is
+// backpressure, not death — the pool prefers another member, or waits
+// for capacity, and the shedding member is never marked down.
+func TestPoolOverloadBackpressure(t *testing.T) {
+	// A single member that sheds twice before admitting: the request must
+	// wait it out and succeed, with the member healthy throughout.
+	var rejections atomic.Int64
+	solo := &fakeBackend{name: "solo", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		if rejections.Add(1) <= 2 {
+			return nil, fmt.Errorf("%w: at capacity", ErrOverloaded)
+		}
+		return okRun("solo")(ctx, req)
+	}}
+	p := newTestPool(t, []Backend{solo})
+	res, err := p.Run(context.Background(), testReq(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "solo" || solo.calls.Load() != 3 {
+		t.Fatalf("overloaded member result %+v after %d calls, want success on call 3", res, solo.calls.Load())
+	}
+	if !p.Status()[0].Healthy {
+		t.Fatal("shedding marked the member down; overload is not death")
+	}
+
+	// With an idle sibling available, shed work overflows immediately
+	// instead of waiting.
+	busy := &fakeBackend{name: "busy", run: func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+		return nil, fmt.Errorf("%w: at capacity", ErrOverloaded)
+	}}
+	idle := &fakeBackend{name: "idle", run: okRun("idle")}
+	p2 := newTestPool(t, []Backend{busy, idle})
+	res, err = p2.Run(context.Background(), testReq(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "idle" {
+		t.Fatalf("shed request served by %s, want the overflow to idle", res.Config)
+	}
+	if !p2.Status()[0].Healthy {
+		t.Fatal("persistently shedding member was marked down")
+	}
+
+	// Everyone persistently shedding: the overload surfaces after the
+	// bounded waits rather than hanging.
+	p3 := newTestPool(t, []Backend{
+		&fakeBackend{name: "f0", run: busy.run},
+		&fakeBackend{name: "f1", run: busy.run},
+	})
+	if _, err := p3.Run(context.Background(), testReq(100)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fully overloaded pool: %v, want ErrOverloaded", err)
+	}
+}
+
+// TestPoolHedging: a straggling first attempt is duplicated onto the
+// second member after the hedge delay, and the fast copy's (identical)
+// result wins without waiting for the straggler.
+func TestPoolHedging(t *testing.T) {
+	b0 := &fakeBackend{name: "b0", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		<-ctx.Done() // straggles until the winner cancels it
+		return nil, ctx.Err()
+	}}
+	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
+	p := newTestPool(t, []Backend{b0, b1}, WithHedgeAfter(5*time.Millisecond))
+
+	done := make(chan struct{})
+	var res *lab.RunResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = p.Run(context.Background(), testReq(100))
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged request never completed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "b1" {
+		t.Fatalf("served by %s, want the hedge on b1", res.Config)
+	}
+	if got := p.BackendCalls(); got != 2 {
+		t.Fatalf("issued %d backend calls, want 2 (primary + hedge)", got)
+	}
+}
+
+// TestPoolProbeRevivesDeadBackend: a member marked down by a dispatch
+// fault returns to rotation once its health probe passes again.
+func TestPoolProbeRevivesDeadBackend(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+	b0 := &fakeBackend{
+		name: "b0",
+		run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+			if down.Load() {
+				return nil, fmt.Errorf("%w: down", ErrUnavailable)
+			}
+			return okRun("b0")(ctx, req)
+		},
+		check: func(context.Context) error {
+			if down.Load() {
+				return fmt.Errorf("%w: still down", ErrUnavailable)
+			}
+			return nil
+		},
+	}
+	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
+	p := newTestPool(t, []Backend{b0, b1}, WithProbeEvery(5*time.Millisecond))
+
+	if _, err := p.Run(context.Background(), testReq(100)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Status()[0].Healthy {
+		t.Fatal("faulting member not marked down")
+	}
+	down.Store(false)
+	for i := 0; ; i++ {
+		if p.Status()[0].Healthy {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("prober never revived the recovered member")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolExperimentsOrdered: distributed experiments are delivered in id
+// order no matter which backend answers first.
+func TestPoolExperimentsOrdered(t *testing.T) {
+	slowFirst := func(ctx context.Context, id string) (*lab.Report, error) {
+		if id == "tab1" {
+			time.Sleep(20 * time.Millisecond) // the first id answers last
+		}
+		return &lab.Report{ID: id, Title: id}, nil
+	}
+	p := newTestPool(t, []Backend{
+		&fakeBackend{name: "b0", exp: slowFirst, run: okRun("b0")},
+		&fakeBackend{name: "b1", exp: slowFirst, run: okRun("b1")},
+	})
+	ids := []string{"tab1", "fig9a", "fig15"}
+	var order []string
+	results, err := p.Experiments(context.Background(), ids, func(r lab.ExperimentResult) {
+		order = append(order, r.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if order[i] != id || results[i].ID != id || results[i].Report.ID != id {
+			t.Fatalf("delivery order %v / results %+v, want %v", order, results, ids)
+		}
+	}
+	if _, err := p.Experiments(context.Background(), []string{"nope"}, nil); !errors.Is(err, lab.ErrUnknownExperiment) {
+		t.Fatalf("unknown id: %v", err)
+	}
+}

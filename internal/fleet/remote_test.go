@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"r3dla/internal/lab"
+)
+
+// fakeServer serves a scripted handler and returns a Remote pointed at it.
+func fakeServer(t *testing.T, h http.HandlerFunc, opts ...RemoteOption) *Remote {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	r, err := NewRemote(srv.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRemoteErrorMapping pins the wire-to-typed-error taxonomy: the
+// lab's sentinels survive the HTTP round-trip, and infrastructure faults
+// classify as retryable.
+func TestRemoteErrorMapping(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		status    int
+		body      string
+		want      error
+		retryable bool
+	}{
+		{"validation 400", http.StatusBadRequest, `{"error":"lab: invalid request: budget"}`, lab.ErrInvalid, false},
+		{"unknown 404", http.StatusNotFound, `{"error":"lab: unknown workload: \"nope\""}`, lab.ErrUnknownWorkload, false},
+		{"admission 503", http.StatusServiceUnavailable, `{"error":"server at capacity"}`, ErrOverloaded, true},
+		{"fault 500", http.StatusInternalServerError, `boom`, ErrBackend, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+				w.WriteHeader(tc.status)
+				fmt.Fprint(w, tc.body)
+			})
+			_, err := r.Run(context.Background(), testReq(100))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if Retryable(err) != tc.retryable {
+				t.Fatalf("Retryable(%v) = %v, want %v", err, Retryable(err), tc.retryable)
+			}
+		})
+	}
+}
+
+// TestRemoteExperimentNotFound: 404 on the experiment endpoint maps to
+// the experiment sentinel, not the workload one.
+func TestRemoteExperimentNotFound(t *testing.T) {
+	r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"lab: unknown experiment"}`)
+	})
+	if _, err := r.Experiment(context.Background(), "nope"); !errors.Is(err, lab.ErrUnknownExperiment) {
+		t.Fatalf("got %v, want ErrUnknownExperiment", err)
+	}
+}
+
+// TestRemoteConnectionRefused: a dead address is retryable.
+func TestRemoteConnectionRefused(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := srv.URL
+	srv.Close()
+	r, err := NewRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), testReq(100)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+}
+
+// TestRemoteRunStream parses the NDJSON run protocol: progress lines are
+// drained, the terminal result line carries the payload.
+func TestRemoteRunStream(t *testing.T) {
+	r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("stream") == "" {
+			t.Error("client did not request the NDJSON stream")
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"prep","workload":"mcf"}`)
+		fmt.Fprintln(w, `{"event":"run","workload":"mcf","key":"k"}`)
+		fmt.Fprintln(w, `{"event":"result","result":{"workload":"mcf","config":"k","budget":100,"ipc":1.25,"cycles":80,"committed":100,"reboots":0,"boq_wrong":0,"l1d_mpki":0.5,"dram_traffic":64}}`)
+	})
+	res, err := r.Run(context.Background(), testReq(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "mcf" || res.IPC != 1.25 || res.Cycles != 80 {
+		t.Fatalf("decoded result wrong: %+v", res)
+	}
+}
+
+// TestRemoteRunStreamTerminalError: a server-side error line is a
+// retryable backend fault (validation was rejected before streaming).
+func TestRemoteRunStreamTerminalError(t *testing.T) {
+	r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, `{"event":"error","error":"simulation exploded"}`)
+	})
+	_, err := r.Run(context.Background(), testReq(100))
+	if !errors.Is(err, ErrBackend) {
+		t.Fatalf("got %v, want ErrBackend", err)
+	}
+}
+
+// TestRemoteRunStreamTruncated: a stream that dies before its terminal
+// line (a killed backend) is retryable, so the pool reruns the cell
+// elsewhere.
+func TestRemoteRunStreamTruncated(t *testing.T) {
+	r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, `{"event":"prep","workload":"mcf"}`)
+		// Connection ends here — no terminal line.
+	})
+	_, err := r.Run(context.Background(), testReq(100))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+}
+
+// TestRemoteRequestTimeout: the per-request cap fires as a retryable
+// fault; the caller's own cancellation does not.
+func TestRemoteRequestTimeout(t *testing.T) {
+	blocked := make(chan struct{})
+	h := func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case <-blocked:
+		case <-req.Context().Done():
+		}
+	}
+	r := fakeServer(t, h, WithRequestTimeout(20*time.Millisecond))
+	defer close(blocked)
+	if _, err := r.Run(context.Background(), testReq(100)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("timeout: got %v, want ErrUnavailable", err)
+	}
+
+	slow := fakeServer(t, h)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := slow.Run(ctx, testReq(100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestRemoteStats decodes the /v1/stats body the router balances on.
+func TestRemoteStats(t *testing.T) {
+	r := fakeServer(t, func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/v1/stats" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, `{"inflight":3,"capacity":64,"max_budget":10000000,"budget":150000,"completed":9,"canceled":1,"runs":7}`)
+	})
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inflight != 3 || st.Capacity != 64 || st.Runs != 7 {
+		t.Fatalf("decoded stats wrong: %+v", st)
+	}
+}
+
+// TestNewRemoteValidation rejects unusable addresses up front.
+func TestNewRemoteValidation(t *testing.T) {
+	if _, err := NewRemote("://bad"); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("bad address: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ const StatusClientClosedRequest = 499
 // bounded worker pool (the server-wide job semaphore).
 //
 //	GET  /v1/healthz              liveness + request counters
+//	GET  /v1/stats                load + admission policy (the fleet router balances on it)
 //	GET  /v1/experiments          the regenerable artifacts
 //	GET  /v1/workloads            the evaluation suite
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1 for NDJSON progress)
@@ -67,6 +68,7 @@ func NewServer(l *Lab, opts ...ServerOption) *Server {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
@@ -202,6 +204,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Canceled:    s.canceled.Load(),
 		Experiments: len(ListExperiments()),
 		Workloads:   len(ListWorkloads()),
+	})
+}
+
+// Stats is the /v1/stats response body: the admission semaphore's live
+// occupancy and capacity, the admission policy knobs, and the shared
+// Lab's cache counters. A fleet router reads it to balance on real load
+// (Inflight counts every client's requests, not just the caller's) and to
+// know how much headroom a member has before admission control sheds to
+// 503.
+type Stats struct {
+	Inflight  int64  `json:"inflight"`   // simulation requests currently admitted
+	Capacity  int    `json:"capacity"`   // admission bound (0 = unlimited)
+	MaxBudget uint64 `json:"max_budget"` // per-request budget cap (0 = unlimited)
+	Budget    uint64 `json:"budget"`     // default per-run budget
+	Completed int64  `json:"completed"`  // requests answered successfully
+	Canceled  int64  `json:"canceled"`   // requests whose client went away
+	Runs      int    `json:"runs"`       // simulations actually executed (cache misses)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		Inflight:  s.active.Load(),
+		Capacity:  cap(s.admit),
+		MaxBudget: s.maxBudget,
+		Budget:    s.lab.Budget(),
+		Completed: s.completed.Load(),
+		Canceled:  s.canceled.Load(),
+		Runs:      s.lab.RunCount(),
 	})
 }
 

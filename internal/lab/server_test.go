@@ -51,6 +51,120 @@ func TestServerHealthz(t *testing.T) {
 	}
 }
 
+// TestServerStats pins the /v1/stats body across server configurations:
+// the admission semaphore's occupancy and capacity are observable, the
+// policy knobs are advertised, and the Lab's cache-miss counter moves
+// only when simulations actually execute.
+func TestServerStats(t *testing.T) {
+	runBody := `{"workload":"mcf","config":{"preset":"dla"},"budget":2000}`
+	for _, tc := range []struct {
+		name string
+		opts []ServerOption
+		prep func(t *testing.T, url string) // traffic to generate before reading stats
+		want Stats
+	}{
+		{
+			name: "unlimited defaults",
+			want: Stats{Budget: 2_000},
+		},
+		{
+			name: "bounded admission and budget",
+			opts: []ServerOption{WithMaxInflight(7), WithMaxBudget(9_000)},
+			want: Stats{Capacity: 7, MaxBudget: 9_000, Budget: 2_000},
+		},
+		{
+			name: "counters after one run",
+			opts: []ServerOption{WithMaxInflight(3)},
+			prep: func(t *testing.T, url string) {
+				resp, err := http.Post(url+"/v1/runs", "application/json", strings.NewReader(runBody))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("run status %d", resp.StatusCode)
+				}
+			},
+			want: Stats{Capacity: 3, Budget: 2_000, Completed: 1, Runs: 1},
+		},
+		{
+			name: "cache hit executes nothing new",
+			opts: []ServerOption{WithMaxInflight(3)},
+			prep: func(t *testing.T, url string) {
+				for i := 0; i < 2; i++ {
+					resp, err := http.Post(url+"/v1/runs", "application/json", strings.NewReader(runBody))
+					if err != nil {
+						t.Fatal(err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("run status %d", resp.StatusCode)
+					}
+				}
+			},
+			want: Stats{Capacity: 3, Budget: 2_000, Completed: 2, Runs: 1},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, _ := newTestService(t, tc.opts...)
+			if tc.prep != nil {
+				tc.prep(t, srv.URL)
+			}
+			var st Stats
+			getJSON(t, srv.URL+"/v1/stats", &st)
+			if st != tc.want {
+				t.Fatalf("stats %+v, want %+v", st, tc.want)
+			}
+		})
+	}
+}
+
+// TestServerStatsInflight observes a live request through the stats
+// semaphore view: occupancy rises to 1 while a simulation is admitted and
+// falls back to 0 when it finishes.
+func TestServerStatsInflight(t *testing.T) {
+	srv, _ := newTestService(t, WithMaxInflight(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/runs",
+		strings.NewReader(`{"workload":"mcf","config":{"preset":"dla"},"budget":30000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	for i := 0; ; i++ {
+		var st Stats
+		getJSON(t, srv.URL+"/v1/stats", &st)
+		if st.Inflight == 1 {
+			break
+		}
+		if i >= 500 {
+			t.Fatal("inflight never became observable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	for i := 0; ; i++ {
+		var st Stats
+		getJSON(t, srv.URL+"/v1/stats", &st)
+		if st.Inflight == 0 {
+			break
+		}
+		if i >= 500 {
+			t.Fatal("inflight never drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestServerListEndpoints(t *testing.T) {
 	srv, _ := newTestService(t)
 	var exps []ExperimentInfo

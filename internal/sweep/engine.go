@@ -51,25 +51,36 @@ type CellResult struct {
 	Result *lab.RunResult `json:"result"`
 }
 
-// Run executes the sweep on l: the spec expands into its deduplicated
-// cell matrix, journaled cells (on resume) are restored without
-// re-running, and the rest are dispatched concurrently — one goroutine
-// per cell, with actual compute bounded by the Lab's worker pool and
-// shared with every other request through the Lab's singleflight caches.
-// The first cell error (or ctx cancellation) aborts outstanding cells;
+// Runner executes one simulation cell. *lab.Lab is the in-process Runner
+// (cells run on its worker pool through its singleflight caches); the
+// fleet pool is the distributed one (cells are routed across r3dlad
+// backends). Because every cell is a deterministic function of its
+// request, the engine's output is byte-identical either way.
+type Runner interface {
+	Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error)
+}
+
+// Run executes the sweep through r: the spec expands into its
+// deduplicated cell matrix, journaled cells (on resume) are restored
+// without re-running, and the rest are dispatched concurrently — one
+// goroutine per cell, with actual compute bounded by the Runner (the
+// Lab's worker pool locally, per-backend admission across a fleet). The
+// journal and resume logic sit on this side of the Runner boundary, so
+// checkpointing works identically for local and distributed sweeps. The
+// first cell error (or ctx cancellation) aborts outstanding cells;
 // completed cells stay checkpointed, so a failed or killed sweep resumes
 // where it stopped.
-func Run(ctx context.Context, l *lab.Lab, spec Spec, opts Options) (*Result, error) {
+func Run(ctx context.Context, r Runner, spec Spec, opts Options) (*Result, error) {
 	cells, err := spec.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return runCells(ctx, l, spec, cells, opts)
+	return runCells(ctx, r, spec, cells, opts)
 }
 
 // runCells is Run on an already-expanded matrix (the HTTP handler
 // expands once for up-front validation and reuses the cells here).
-func runCells(ctx context.Context, l *lab.Lab, spec Spec, cells []Cell, opts Options) (*Result, error) {
+func runCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Options) (*Result, error) {
 	var err error
 	if opts.Resume && opts.Journal == "" {
 		return nil, fmt.Errorf("%w: resume requires a journal path", lab.ErrInvalid)

@@ -1,12 +1,15 @@
-// Package sweep is the parameter-space exploration engine layered on the
-// Lab client: a declarative grid Spec (axes over configuration fields
-// plus a workload set) expands into a deduplicated run matrix, cells are
-// sharded across the Lab's bounded worker pool, completed cells are
-// checkpointed to an NDJSON journal so an interrupted sweep resumes
-// without repeating work, and results aggregate into a long-form table
-// with per-axis marginals. Because every cell runs through the Lab's
-// singleflight result cache, overlapping sweeps (and sweeps overlapping
-// plain runs) share simulations instead of repeating them.
+// Package sweep is the parameter-space exploration engine: a declarative
+// grid Spec (axes over configuration fields plus a workload set) expands
+// into a deduplicated run matrix, cells are dispatched through a Runner —
+// the in-process Lab client, or a fleet pool routing across r3dlad
+// backends — completed cells are checkpointed to an NDJSON journal so an
+// interrupted sweep resumes without repeating work, and results
+// aggregate into a long-form table with per-axis marginals. Because
+// every cell runs through the Runner's singleflight result cache (the
+// Lab's locally, the pool's across the wire), overlapping sweeps (and
+// sweeps overlapping plain runs) share simulations instead of repeating
+// them; and because cells are deterministic, the rendered output is
+// byte-identical whichever Runner executed them.
 package sweep
 
 import (
