@@ -1,0 +1,142 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"r3dla/internal/bench"
+)
+
+// runBench is the `r3dla bench` subcommand: it executes one of the fixed
+// benchmark suites (core, fleet) through testing.Benchmark and either
+// prints the results, writes a trajectory file (-out), or gates a fresh
+// run against a committed trajectory (-against; the CI regression step).
+//
+//	r3dla bench                                  # run the core suite
+//	r3dla bench -suite fleet -benchtime 3x
+//	r3dla bench -out BENCH_core.json -baseline-from BENCH_core.json
+//	r3dla bench -against BENCH_core.json         # CI regression gate
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		suiteName    = fs.String("suite", "core", "benchmark suite: core or fleet")
+		benchtime    = fs.String("benchtime", "", "per-benchmark time or iteration count (e.g. 2s, 10x; default 1s)")
+		out          = fs.String("out", "", "write the trajectory JSON to this file")
+		baselineFrom = fs.String("baseline-from", "", "carry the baseline section forward from this trajectory file into -out")
+		against      = fs.String("against", "", "gate this run against a committed trajectory file (exit 1 on regression)")
+		nsTol        = fs.Float64("ns-tol", bench.DefaultTolerances().NsRatio, "ns/op tolerance band vs the committed file")
+		allocTol     = fs.Float64("alloc-tol", bench.DefaultTolerances().AllocRatio, "allocs/op tolerance band vs the committed file")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memprofile   = fs.String("memprofile", "", "write a heap profile after the suite to this file")
+	)
+	fs.Parse(args)
+
+	// testing.Benchmark honors the testing package's benchtime flag; in a
+	// non-test binary it must be registered (testing.Init) before use.
+	testing.Init()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla bench: -benchtime: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	defs, err := bench.Suite(*suiteName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	results := bench.RunSuite(defs, func(r bench.Result) {
+		fmt.Fprintf(os.Stderr, "%-24s %8d iters  %12.0f ns/op  %8d allocs/op  %10d B/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	})
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *against != "" {
+		committed, err := bench.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla bench: %v\n", err)
+			os.Exit(1)
+		}
+		tol := bench.DefaultTolerances()
+		tol.NsRatio, tol.AllocRatio = *nsTol, *allocTol
+		var floors []bench.Improvement
+		if *suiteName == "core" {
+			floors = append(floors, bench.HeadlineImprovement())
+		}
+		if err := bench.Check(results, committed, tol, floors...); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla bench: regression gate failed vs %s:\n%v\n", *against, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "r3dla bench: %s within tolerance of %s\n", *suiteName, *against)
+	}
+
+	if *out != "" {
+		f := &bench.File{Schema: bench.SchemaVersion, Suite: *suiteName, Benchmarks: results}
+		if *baselineFrom != "" {
+			prev, err := bench.ReadFile(*baselineFrom)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "r3dla bench: -baseline-from: %v\n", err)
+				os.Exit(1)
+			}
+			f.Baseline, f.Note = prev.Baseline, prev.Note
+		}
+		if err := f.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "r3dla bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "r3dla bench: wrote %s\n", *out)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot; the
+// returned stop function finalizes both. Shared by the run and bench
+// subcommands.
+func startProfiles(cpupath, mempath string) (stop func() error, err error) {
+	var cpuf *os.File
+	if cpupath != "" {
+		cpuf, err = os.Create(cpupath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuf); err != nil {
+			cpuf.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuf != nil {
+			pprof.StopCPUProfile()
+			if err := cpuf.Close(); err != nil {
+				return err
+			}
+		}
+		if mempath != "" {
+			memf, err := os.Create(mempath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize the live set before the snapshot
+			if err := pprof.WriteHeapProfile(memf); err != nil {
+				memf.Close()
+				return err
+			}
+			return memf.Close()
+		}
+		return nil
+	}, nil
+}

@@ -57,6 +57,9 @@ func main() {
 		case "run":
 			runRun(os.Args[2:])
 			return
+		case "bench":
+			runBench(os.Args[2:])
+			return
 		}
 	}
 	var (

@@ -22,18 +22,25 @@ import (
 func runRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		workload = fs.String("workload", "", "workload name (required; see wlinfo)")
-		preset   = fs.String("preset", "baseline", "configuration preset: baseline, dla, r3")
-		config   = fs.String("config", "", "full ConfigSpec JSON (overrides -preset)")
-		budget   = fs.Uint64("budget", 150_000, "committed instructions to simulate")
-		jobs     = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
-		backends = fs.String("backends", "", "comma-separated r3dlad addresses; empty = run locally")
-		hedge    = fs.Duration("hedge", 0, "duplicate straggler requests onto a second backend after this delay (0 = off)")
+		workload   = fs.String("workload", "", "workload name (required; see wlinfo)")
+		preset     = fs.String("preset", "baseline", "configuration preset: baseline, dla, r3")
+		config     = fs.String("config", "", "full ConfigSpec JSON (overrides -preset)")
+		budget     = fs.Uint64("budget", 150_000, "committed instructions to simulate")
+		jobs       = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
+		backends   = fs.String("backends", "", "comma-separated r3dlad addresses; empty = run locally")
+		hedge      = fs.Duration("hedge", 0, "duplicate straggler requests onto a second backend after this delay (0 = off)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	fs.Parse(args)
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "r3dla run: -workload is required")
 		os.Exit(2)
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
+		os.Exit(1)
 	}
 
 	spec := lab.ConfigSpec{Preset: *preset}
@@ -79,6 +86,10 @@ func runRun(args []string) {
 
 	start := time.Now()
 	res, err := runner.Run(ctx, req)
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintf(os.Stderr, "r3dla run: %v\n", perr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tolerances bound how far a fresh measurement may drift above the
+// committed trajectory before Check fails.
+type Tolerances struct {
+	// NsRatio is the wall-time band: a fresh ns/op may exceed the
+	// committed ns/op by this factor. Wide by design — CI runners are
+	// shared and slow, so this catches order-of-magnitude regressions,
+	// while the alloc gate below catches the silent creep.
+	NsRatio float64
+
+	// AllocRatio is the allocation band: allocs/op is deterministic up
+	// to map-growth scheduling, so the band is tight.
+	AllocRatio float64
+
+	// AllocSlack is an absolute allowance on top of AllocRatio, so
+	// near-zero benchmarks (a queue op at 0 allocs) don't fail on +1.
+	AllocSlack int64
+}
+
+// DefaultTolerances is the CI gate configuration.
+func DefaultTolerances() Tolerances {
+	return Tolerances{NsRatio: 2.5, AllocRatio: 1.10, AllocSlack: 16}
+}
+
+// Improvement floors the committed file must prove on the headline
+// benchmark (acceptance criteria of the optimization pass): the seed-core
+// baseline must be at least NsX slower and AllocsX more allocation-heavy
+// than the current core.
+type Improvement struct {
+	Name    string
+	NsX     float64
+	AllocsX float64
+}
+
+// HeadlineImprovement is the floor the committed BENCH_core.json must
+// demonstrate on the single-cell run benchmark.
+func HeadlineImprovement() Improvement {
+	return Improvement{Name: "CoreRun/mcf_r3", NsX: 1.5, AllocsX: 2.0}
+}
+
+// Check compares a fresh run against the committed trajectory file:
+//
+//  1. every committed benchmark must have been re-measured, and each
+//     fresh measurement must stay inside the tolerance band;
+//  2. when the committed file carries a Baseline section, its in-file
+//     improvement ratios must meet the floors (both sections of the
+//     committed file were measured on one machine, so the ratio is
+//     meaningful even though CI hardware differs).
+//
+// It returns all violations joined into one error, or nil.
+func Check(fresh []Result, committed *File, tol Tolerances, floors ...Improvement) error {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var errs []error
+	for _, want := range committed.Benchmarks {
+		got, ok := byName[want.Name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: committed but not re-measured", want.Name))
+			continue
+		}
+		if maxNs := want.NsPerOp * tol.NsRatio; got.NsPerOp > maxNs {
+			errs = append(errs, fmt.Errorf("%s: ns/op regression: %.0f > %.0f (committed %.0f x band %.2f)",
+				want.Name, got.NsPerOp, maxNs, want.NsPerOp, tol.NsRatio))
+		}
+		maxAllocs := int64(float64(want.AllocsPerOp)*tol.AllocRatio) + tol.AllocSlack
+		if got.AllocsPerOp > maxAllocs {
+			errs = append(errs, fmt.Errorf("%s: allocs/op regression: %d > %d (committed %d x band %.2f + %d)",
+				want.Name, got.AllocsPerOp, maxAllocs, want.AllocsPerOp, tol.AllocRatio, tol.AllocSlack))
+		}
+	}
+	for _, fl := range floors {
+		base, okB := committed.Baseline[fl.Name]
+		cur, okC := committed.Lookup(fl.Name)
+		if !okB || !okC {
+			errs = append(errs, fmt.Errorf("%s: improvement floor declared but baseline/current missing from committed file", fl.Name))
+			continue
+		}
+		if cur.NsPerOp <= 0 || cur.AllocsPerOp <= 0 {
+			errs = append(errs, fmt.Errorf("%s: committed current measurement is empty", fl.Name))
+			continue
+		}
+		if r := base.NsPerOp / cur.NsPerOp; r < fl.NsX {
+			errs = append(errs, fmt.Errorf("%s: committed ns/op improvement %.2fx is below the %.1fx floor", fl.Name, r, fl.NsX))
+		}
+		if r := float64(base.AllocsPerOp) / float64(cur.AllocsPerOp); r < fl.AllocsX {
+			errs = append(errs, fmt.Errorf("%s: committed allocs/op improvement %.2fx is below the %.1fx floor", fl.Name, r, fl.AllocsX))
+		}
+	}
+	return errors.Join(errs...)
+}

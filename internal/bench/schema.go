@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion guards the committed file format.
+const SchemaVersion = 1
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the committed trajectory document (BENCH_core.json,
+// BENCH_fleet.json): the current measurements plus, for the core suite,
+// the seed-core baseline the improvement is asserted against.
+type File struct {
+	Schema     int      `json:"schema"`
+	Suite      string   `json:"suite"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+
+	// Baseline holds the pre-optimization (seed core) measurements,
+	// taken on the same machine as the Benchmarks section of the commit
+	// that introduced the file, keyed by benchmark name. CI asserts the
+	// in-file improvement ratios, which are machine-consistent because
+	// both sections were measured together.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+}
+
+// ReadFile loads a trajectory file.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d (want %d)", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// WriteFile writes f to path with stable formatting.
+func (f *File) WriteFile(path string) error {
+	sort.SliceStable(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Lookup finds a benchmark by name in the Benchmarks section.
+func (f *File) Lookup(name string) (Result, bool) {
+	for _, r := range f.Benchmarks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}

@@ -130,7 +130,7 @@ func Collect(prog *isa.Program, setup func(*emu.Memory), budget uint64) *Profile
 	coreC, priv, _ := memsys.NewBaselineCore(pipeline.DefaultConfig(), feed, dir, memsys.Options{WithBOP: true})
 
 	lastStore := make(map[uint64]int) // word -> store PC
-	strides := make(map[int]*strideTrack)
+	strides := make([]strideTrack, len(prog.Insts))
 
 	loadHook := priv.LoadHook()
 	coreC.Hooks.OnLoadAccess = func(d *emu.DynInst, level int, done, now uint64) {
@@ -163,11 +163,7 @@ func Collect(prog *isa.Program, setup func(*emu.Memory), budget uint64) *Profile
 			if spc, ok := lastStore[d.EA>>3]; ok {
 				addMemDep(p.MemDeps, d.PC, spc)
 			}
-			tr := strides[d.PC]
-			if tr == nil {
-				tr = &strideTrack{}
-				strides[d.PC] = tr
-			}
+			tr := &strides[d.PC]
 			if tr.have {
 				s := int64(d.EA) - int64(tr.last)
 				if tr.have2 {

@@ -46,7 +46,11 @@ func (q *BOQ) Push(taken bool) bool {
 		q.Overflows++
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = BOQEntry{Taken: taken, Index: q.pushes}
+	idx := q.head + q.size
+	if idx >= len(q.buf) {
+		idx -= len(q.buf)
+	}
+	q.buf[idx] = BOQEntry{Taken: taken, Index: q.pushes}
 	q.size++
 	q.pushes++
 	return true
@@ -58,7 +62,9 @@ func (q *BOQ) Pop() (BOQEntry, bool) {
 		return BOQEntry{}, false
 	}
 	e := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	q.pops++
 	return e, true
@@ -116,7 +122,11 @@ func (q *FQ) Push(e FQEntry) bool {
 		q.Drops++
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = e
+	idx := q.head + q.size
+	if idx >= len(q.buf) {
+		idx -= len(q.buf)
+	}
+	q.buf[idx] = e
 	q.size++
 	return true
 }
@@ -133,7 +143,9 @@ func (q *FQ) Peek() (FQEntry, bool) {
 func (q *FQ) Pop() (FQEntry, bool) {
 	e, ok := q.Peek()
 	if ok {
-		q.head = (q.head + 1) % len(q.buf)
+		if q.head++; q.head == len(q.buf) {
+			q.head = 0
+		}
 		q.size--
 	}
 	return e, ok

@@ -210,15 +210,31 @@ func EmptySkeleton(prog *isa.Program) *Skeleton {
 	return s
 }
 
-// generator holds the static structures shared by all versions.
+// generator holds the static structures shared by all versions, plus the
+// per-build scratch (needAt bitsets and the propagation worklist) reused
+// across the seven build calls of one Generate instead of reallocated.
 type generator struct {
 	prog  *isa.Program
 	prof  *Profile
 	preds [][]int32
+
+	needAt []uint64 // register-need bitset scratch, cleared per build
+	queue  []genWork
+}
+
+// genWork is one backward-propagation worklist item of generator.build.
+type genWork struct {
+	pc  int
+	reg uint8
 }
 
 func newGenerator(prog *isa.Program, prof *Profile) *generator {
-	return &generator{prog: prog, prof: prof, preds: predecessors(prog)}
+	return &generator{
+		prog:   prog,
+		prof:   prof,
+		preds:  predecessors(prog),
+		needAt: make([]uint64, len(prog.Insts)),
+	}
 }
 
 // predecessors builds the CFG predecessor lists. Fallthrough edges exist
@@ -402,12 +418,11 @@ func (g *generator) build(name string, memSeeds, extraSeeds, forced map[int]bool
 
 	// needAt[pc] is a register bitset: the value of reg r is needed at the
 	// *exit* of pc.
-	needAt := make([]uint64, n)
-	type work struct {
-		pc  int
-		reg uint8
+	needAt := g.needAt
+	for i := range needAt {
+		needAt[i] = 0
 	}
-	var queue []work
+	queue := g.queue[:0]
 	addNeed := func(pc int, reg uint8) {
 		if pc < 0 || pc >= n || reg == isa.RegZero || reg == isa.NoReg {
 			return
@@ -415,7 +430,7 @@ func (g *generator) build(name string, memSeeds, extraSeeds, forced map[int]bool
 		bit := uint64(1) << (reg & 63)
 		if needAt[pc]&bit == 0 {
 			needAt[pc] |= bit
-			queue = append(queue, work{pc, reg})
+			queue = append(queue, genWork{pc, reg})
 		}
 	}
 
@@ -474,6 +489,7 @@ func (g *generator) build(name string, memSeeds, extraSeeds, forced map[int]bool
 			addNeed(int(q), w.reg)
 		}
 	}
+	g.queue = queue[:0] // keep the grown worklist for the next build
 	return s
 }
 

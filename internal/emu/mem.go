@@ -24,11 +24,31 @@ type Mem interface {
 // NewMemory.
 type Memory struct {
 	pages map[uint64]*page
+
+	// owned, when non-nil, marks this Memory as a copy-on-write fork:
+	// pages not in the set are shared with the parent image and must be
+	// copied before the first write (see Fork).
+	owned map[uint64]bool
 }
 
 // NewMemory returns an empty memory; all words read as zero.
 func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Fork returns a copy-on-write copy of m: reads are served from m's
+// pages until the fork first writes a page, which is then copied. The
+// parent must not be written after the first Fork — the prepared-workload
+// images the experiment harness forks per run are frozen by contract
+// (exp.Prepared is immutable once built), so runs start from identical
+// memory without re-executing the workload's setup, removing the
+// dominant per-run allocation cost the profile attributed to setup.
+func (m *Memory) Fork() *Memory {
+	pages := make(map[uint64]*page, len(m.pages)+8)
+	for k, v := range m.pages {
+		pages[k] = v
+	}
+	return &Memory{pages: pages, owned: make(map[uint64]bool, 8)}
 }
 
 // Read returns the 64-bit word containing addr.
@@ -49,6 +69,14 @@ func (m *Memory) Write(addr uint64, v uint64) {
 	if p == nil {
 		p = new(page)
 		m.pages[idx] = p
+		if m.owned != nil {
+			m.owned[idx] = true
+		}
+	} else if m.owned != nil && !m.owned[idx] {
+		cp := *p
+		p = &cp
+		m.pages[idx] = p
+		m.owned[idx] = true
 	}
 	p[w&pageMask] = v
 }

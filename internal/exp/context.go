@@ -68,6 +68,12 @@ type Context struct {
 	// os.Stdout). Writes are serialized by the Context.
 	LogW io.Writer
 
+	// Cache, when non-nil, persists preparation artifacts across
+	// processes (see internal/prepcache): prep consults it before
+	// running the training simulation and stores what it generates.
+	// Set before first use.
+	Cache PrepCache
+
 	ctx context.Context // cancellation; nil means background
 
 	state *sharedState // pool + memoization, shared with WithCancel copies
@@ -339,6 +345,25 @@ type Prepared struct {
 	Setup func(*emu.Memory)
 	Prof  *core.Profile
 	Set   *core.Set
+
+	imgOnce sync.Once
+	img     *emu.Memory
+}
+
+// Image returns the workload's initialized data-memory image, built by
+// running Setup exactly once per Prepared and frozen afterwards. Runs fork
+// it copy-on-write (emu.Memory.Fork) instead of re-executing Setup, which
+// the heap profile showed dominating per-run allocation. The image must
+// never be written directly — only forks are.
+func (p *Prepared) Image() *emu.Memory {
+	p.imgOnce.Do(func() {
+		m := emu.NewMemory()
+		if p.Setup != nil {
+			p.Setup(m)
+		}
+		p.img = m
+	})
+	return p.img
 }
 
 // Prep profiles and generates skeletons for one workload. Preparation is
@@ -366,15 +391,36 @@ func (c *Context) Prep(name string) *Prepared {
 	return p
 }
 
+// PrepCache persists preparation artifacts across processes. Load returns
+// ok=false on any problem (missing, stale, corrupt) — misses are silent
+// and the Context regenerates; Store failures are likewise non-fatal.
+// internal/prepcache provides the on-disk implementation.
+type PrepCache interface {
+	Load(key string, train, eval *isa.Program) (*core.Profile, *core.Set, bool)
+	Store(key string, train, eval *isa.Program, prof *core.Profile, set *core.Set) error
+}
+
 func (c *Context) prep(name string) *Prepared {
 	w := workloads.ByName(name)
 	if w == nil {
 		panic(fmt.Sprintf("exp: unknown workload %q", name))
 	}
 	trainProg, trainSetup := w.Build(TrainSeed)
-	prof := core.Collect(trainProg, trainSetup, c.TrainBudget)
 	evalProg, evalSetup := w.Build(EvalSeed)
+	key := fmt.Sprintf("%s@%d", name, c.TrainBudget)
+	if c.Cache != nil {
+		if prof, set, ok := c.Cache.Load(key, trainProg, evalProg); ok {
+			c.Logf("  [prep] %-9s loaded from prep cache\n", name)
+			return &Prepared{W: w, Prog: evalProg, Setup: evalSetup, Prof: prof, Set: set}
+		}
+	}
+	prof := core.Collect(trainProg, trainSetup, c.TrainBudget)
 	set := core.Generate(evalProg, prof)
+	if c.Cache != nil {
+		if err := c.Cache.Store(key, trainProg, evalProg, prof, set); err != nil {
+			c.Logf("  [prep] %-9s prep-cache store failed: %v\n", name, err)
+		}
+	}
 	return &Prepared{W: w, Prog: evalProg, Setup: evalSetup, Prof: prof, Set: set}
 }
 
@@ -420,7 +466,7 @@ func (c *Context) RunDLAAt(p *Prepared, opt core.Options, budget uint64) *core.R
 	}
 	var r *core.Results
 	c.Do(func() {
-		sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, opt)
+		sys := core.NewSystemWithMemory(p.Prog, p.Image().Fork(), p.Set, p.Prof, opt)
 		res, err := sys.RunContext(c.ctx, budget)
 		if err != nil {
 			panic(canceled{err})
@@ -438,9 +484,7 @@ func (c *Context) RunBaseline(p *Prepared, bop bool) *core.Results {
 // BaselineMetricsOn runs a standalone baseline core with an arbitrary
 // pipeline config (used by the fetch-buffer and SMT studies).
 func BaselineMetricsOn(p *Prepared, cfg pipeline.Config, budget uint64, bop bool) (*pipeline.Metrics, *memsys.Private) {
-	mem := emu.NewMemory()
-	p.Setup(mem)
-	mach := emu.NewMachine(p.Prog, mem)
+	mach := emu.NewMachine(p.Prog, p.Image().Fork())
 	feed := &pipeline.MachineFeeder{M: mach}
 	dir := &pipeline.TageSource{P: branch.NewPredictor(branch.DefaultConfig())}
 	coreC, priv, _ := memsys.NewBaselineCore(cfg, feed, dir, memsys.Options{WithBOP: bop})

@@ -49,7 +49,7 @@ func Table3(c *Context) *Report {
 		stridedPC := classify[wi]
 		c.Do(func() {
 			var sMiss, oMiss uint64
-			sys := core.NewSystem(p.Prog, p.Setup, p.Set, p.Prof, cfgs[ci].opt)
+			sys := core.NewSystemWithMemory(p.Prog, p.Image().Fork(), p.Set, p.Prof, cfgs[ci].opt)
 			prev := sys.MTLoadHook()
 			sys.SetMTLoadHook(func(d *emu.DynInst, level int, done, now uint64) {
 				prev(d, level, done, now)

@@ -12,6 +12,7 @@ import (
 	"r3dla/internal/exp"
 	"r3dla/internal/isa"
 	"r3dla/internal/pipeline"
+	"r3dla/internal/prepcache"
 	"r3dla/internal/workloads"
 )
 
@@ -88,6 +89,22 @@ func WithJobs(n int) ClientOption {
 // multiple goroutines and must be safe for that.
 func WithProgress(f func(Event)) ClientOption {
 	return func(l *Lab) error { l.c.Progress = f; return nil }
+}
+
+// WithPrepCache persists preparation artifacts (profiles + skeletons) in
+// dir, surviving process restarts: a new Lab over a warm directory serves
+// its first Prepare from a file read instead of re-simulating the
+// training run. Entries are fingerprint-guarded and corruption-tolerant —
+// stale or damaged files silently regenerate (see internal/prepcache).
+func WithPrepCache(dir string) ClientOption {
+	return func(l *Lab) error {
+		pc, err := prepcache.New(dir)
+		if err != nil {
+			return err
+		}
+		l.c.Cache = pc
+		return nil
+	}
 }
 
 // WithDetailLog enables verbose per-workload detail lines on w.

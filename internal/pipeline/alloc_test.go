@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"testing"
+
+	"r3dla/internal/emu"
+)
+
+// The per-cycle path (commit → issue → dispatch → fetch) must be
+// allocation-free in steady state: one heap object per cycle — which is
+// what the escaping fetch-hint local used to cost — dominates the whole
+// simulator's allocation profile (see DESIGN.md §8). The core is warmed
+// up first so one-time growth (predictor tables, cold cache fills) is
+// excluded. A TargetHint hook is installed even though this program has
+// no indirect branches: escape analysis is static, so if fetch ever goes
+// back to passing &local to the hook, every fetched instruction allocates
+// whether or not the hook fires — exactly what this test must catch.
+func TestTickSteadyStateAllocFree(t *testing.T) {
+	c := newTestCore(independentALUProgram(10_000_000), 80, nil)
+	c.Hooks.TargetHint = func(d *emu.DynInst) (int, bool) { return 0, false }
+	c.Run(20_000) // warm-up: budget stops the run long before the program halts
+	if c.Done() {
+		t.Fatal("warm-up ran the program to completion; steady-state measurement needs remaining work")
+	}
+	allocs := testing.AllocsPerRun(20_000, func() { c.Tick() })
+	if allocs != 0 {
+		t.Errorf("steady-state Tick allocates %.2f objects per cycle, want 0", allocs)
+	}
+}

@@ -51,25 +51,37 @@ type Core struct {
 	btb *branch.BTB
 	ras *branch.RAS
 
-	// fetch state
+	// fetch state. The fetch queue is a fixed ring (capacity
+	// FetchBufSize): fetch pushes at the tail, dispatch pops at the
+	// head, and no per-cycle slice reallocation ever happens — the seed
+	// implementation's append/reslice churn here accounted for ~98% of
+	// the simulator's allocated objects.
 	fetchQ        []fqEntry
+	fqHead, fqLen int
 	lastBlock     uint64
 	haveBlock     bool
 	fetchStall    uint64 // no fetch before this cycle
 	blockedOnSpec bool   // stop fetch until the mispredicted branch issues
 	feederDone    bool
 
+	// hintScratch is the DynInst handed to the TargetHint hook. Passing
+	// &local would make every fetched instruction escape to the heap —
+	// one allocation per fetch, the dominant object count in the seed's
+	// heap profile — so fetch copies into this core-owned slot instead.
+	hintScratch emu.DynInst
+
 	// backend state
-	rob        []robEntry
-	head, tail int // ring indices
-	count      int
-	lsqCount   int
-	seqCounter uint64
-	lastWriter [isa.NumRegs]int32
-	writerSeq  [isa.NumRegs]uint64
-	freeInt    int
-	freeFP     int
-	scoreboard [isa.NumRegs]bool // value-validated marks (skip-validation)
+	rob          []robEntry
+	head, tail   int // ring indices
+	count        int
+	issuedPrefix int // consecutive issued entries at the ROB head (scan skip)
+	lsqCount     int
+	seqCounter   uint64
+	lastWriter   [isa.NumRegs]int32
+	writerSeq    [isa.NumRegs]uint64
+	freeInt      int
+	freeFP       int
+	scoreboard   [isa.NumRegs]bool // value-validated marks (skip-validation)
 
 	now uint64
 
@@ -78,6 +90,10 @@ type Core struct {
 
 // New constructs a core over the given caches with its own BTB/RAS.
 func New(cfg Config, feed Feeder, dir DirectionSource, l1i, l1d *cache.Cache) *Core {
+	ringCap := cfg.FetchBufSize
+	if ringCap < 1 {
+		ringCap = 1
+	}
 	c := &Core{
 		Cfg:     cfg,
 		Feed:    feed,
@@ -86,6 +102,7 @@ func New(cfg Config, feed Feeder, dir DirectionSource, l1i, l1d *cache.Cache) *C
 		L1D:     l1d,
 		btb:     branch.NewBTB(cfg.BTBBits),
 		ras:     branch.NewRAS(cfg.RASEntries),
+		fetchQ:  make([]fqEntry, ringCap),
 		rob:     make([]robEntry, cfg.ROB),
 		freeInt: cfg.IntPRF - isa.NumIntRegs,
 		freeFP:  cfg.FPPRF - isa.NumFPRegs,
@@ -111,7 +128,27 @@ func (c *Core) Now() uint64 { return c.now }
 // Done reports whether the core has drained: feeder exhausted and no
 // in-flight work.
 func (c *Core) Done() bool {
-	return c.feederDone && len(c.fetchQ) == 0 && c.count == 0
+	return c.feederDone && c.fqLen == 0 && c.count == 0
+}
+
+// fqPush appends one entry at the tail of the fetch ring. Callers check
+// capacity (fqLen < Cfg.FetchBufSize) before pushing.
+func (c *Core) fqPush(e fqEntry) {
+	idx := c.fqHead + c.fqLen
+	if idx >= len(c.fetchQ) {
+		idx -= len(c.fetchQ)
+	}
+	c.fetchQ[idx] = e
+	c.fqLen++
+}
+
+// fqPop drops the head entry of the fetch ring.
+func (c *Core) fqPop() {
+	c.fqHead++
+	if c.fqHead == len(c.fetchQ) {
+		c.fqHead = 0
+	}
+	c.fqLen--
 }
 
 // Tick advances the core by one cycle. Stages run commit -> issue ->
@@ -123,7 +160,7 @@ func (c *Core) Tick() {
 	c.dispatch()
 	c.fetch()
 	if c.M.FetchQOcc != nil {
-		c.M.FetchQOcc.Add(len(c.fetchQ))
+		c.M.FetchQOcc.Add(c.fqLen)
 	}
 	c.now++
 	c.M.Cycles++
@@ -136,7 +173,7 @@ func (c *Core) StallTick() {
 	c.now++
 	c.M.Cycles++
 	if c.M.FetchQOcc != nil {
-		c.M.FetchQOcc.Add(len(c.fetchQ))
+		c.M.FetchQOcc.Add(c.fqLen)
 	}
 }
 
@@ -145,11 +182,12 @@ func (c *Core) StallTick() {
 // and metrics are untouched. The DLA reboot path uses this to reset the
 // look-ahead core.
 func (c *Core) Flush() {
-	c.fetchQ = c.fetchQ[:0]
+	c.fqHead, c.fqLen = 0, 0
 	for i := range c.rob {
 		c.rob[i].live = false
 	}
 	c.head, c.tail, c.count = 0, 0, 0
+	c.issuedPrefix = 0
 	c.lsqCount = 0
 	c.freeInt = c.Cfg.IntPRF - isa.NumIntRegs
 	c.freeFP = c.Cfg.FPPRF - isa.NumFPRegs
@@ -223,6 +261,9 @@ func (c *Core) commit() {
 		e.live = false
 		c.head = (c.head + 1) % len(c.rob)
 		c.count--
+		if c.issuedPrefix > 0 {
+			c.issuedPrefix--
+		}
 		c.M.Committed++
 	}
 }
@@ -232,12 +273,29 @@ func (c *Core) commit() {
 func (c *Core) issue() {
 	fuLeft := [3]int{c.Cfg.IntFUs, c.Cfg.MemFUs, c.Cfg.FPFUs}
 	issued := 0
-	for k, idx := 0, c.head; k < c.count && issued < c.Cfg.IssueWidth; k, idx = k+1, (idx+1)%len(c.rob) {
-		e := &c.rob[idx]
+	// issuedPrefix counts consecutive already-issued entries at the ROB
+	// head: the scan starts past them instead of re-skipping the same
+	// entries every cycle (the seed's head-first scan was the single
+	// hottest function in the CPU profile).
+	start := c.issuedPrefix
+	if start > c.count {
+		start = c.count
+	}
+	rob := c.rob
+	now := c.now
+	idx := c.head + start
+	if idx >= len(rob) {
+		idx -= len(rob)
+	}
+	for k := start; k < c.count && issued < c.Cfg.IssueWidth; k++ {
+		e := &rob[idx]
+		if idx++; idx == len(rob) {
+			idx = 0
+		}
 		if e.issued {
 			continue
 		}
-		if e.dispatchCycle+1 > c.now {
+		if e.dispatchCycle+1 > now {
 			break // younger entries dispatched no earlier; all not ready
 		}
 		// Skip-validation entries complete without execution.
@@ -258,7 +316,7 @@ func (c *Core) issue() {
 				ready = t
 			}
 		}
-		if !ok || ready > c.now {
+		if !ok || ready > now {
 			continue
 		}
 		fu := fuOf(e.d.In.Op.Class())
@@ -277,6 +335,17 @@ func (c *Core) issue() {
 		}
 		c.M.DispExecSum += e.execDone - e.dispatchCycle
 		c.M.DispExecCount++
+	}
+	// Extend the issued prefix over any newly contiguous issued entries.
+	for c.issuedPrefix < c.count {
+		i := c.head + c.issuedPrefix
+		if i >= len(c.rob) {
+			i -= len(c.rob)
+		}
+		if !c.rob[i].issued {
+			break
+		}
+		c.issuedPrefix++
 	}
 }
 
@@ -354,8 +423,8 @@ func (c *Core) dispatch() {
 	if c.Cfg.InfiniteBackend {
 		// Ideal backend: decode drains everything fetched in earlier
 		// cycles.
-		for len(c.fetchQ) > 0 && c.fetchQ[0].fetchCycle < c.now {
-			c.fetchQ = c.fetchQ[1:]
+		for c.fqLen > 0 && c.fetchQ[c.fqHead].fetchCycle < c.now {
+			c.fqPop()
 			c.M.Dispatched++
 			c.M.Committed++
 		}
@@ -369,18 +438,18 @@ func (c *Core) dispatch() {
 	n := 0
 	starved := false
 	for n < c.Cfg.DecodeWidth {
-		if len(c.fetchQ) == 0 || c.fetchQ[0].fetchCycle >= c.now {
+		if c.fqLen == 0 || c.fetchQ[c.fqHead].fetchCycle >= c.now {
 			starved = true
 			break
 		}
 		if c.count >= c.Cfg.ROB {
 			break
 		}
-		fe := &c.fetchQ[0]
+		fe := &c.fetchQ[c.fqHead]
 		if !c.tryDispatch(fe) {
 			break
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqPop()
 		n++
 	}
 	c.M.Dispatched += uint64(n)
@@ -547,7 +616,7 @@ func (c *Core) fetch() {
 		return
 	}
 	fetched := 0
-	for fetched < c.Cfg.FetchWidth && len(c.fetchQ) < c.Cfg.FetchBufSize {
+	for fetched < c.Cfg.FetchWidth && c.fqLen < c.Cfg.FetchBufSize {
 		d, ok := c.Feed.Peek()
 		if !ok {
 			c.feederDone = true
@@ -587,7 +656,8 @@ func (c *Core) fetch() {
 			var target int
 			var okT bool
 			if c.Hooks.TargetHint != nil {
-				target, okT = c.Hooks.TargetHint(&d)
+				c.hintScratch = d
+				target, okT = c.Hooks.TargetHint(&c.hintScratch)
 			}
 			if !okT {
 				if op == isa.RET {
@@ -613,7 +683,7 @@ func (c *Core) fetch() {
 		c.Feed.Advance()
 		c.M.Fetched++
 		fetched++
-		c.fetchQ = append(c.fetchQ, fqEntry{d: d, fetchCycle: c.now, mispred: mispred})
+		c.fqPush(fqEntry{d: d, fetchCycle: c.now, mispred: mispred})
 
 		if mispred {
 			c.blockedOnSpec = true // wrong path beyond here: stall until resolve

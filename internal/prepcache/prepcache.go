@@ -1,0 +1,207 @@
+// Package prepcache persists workload preparation artifacts (the training
+// Profile and the generated skeleton Set) on disk, so a restarted process
+// — most importantly a rebooted r3dlad — serves its first request from a
+// cheap file read instead of re-running the training simulation and the
+// skeleton generator.
+//
+// Entries are keyed by "workload@trainBudget" and guarded by a fingerprint
+// over the training and evaluation programs: any change to the workload
+// builder invalidates the entry. Writes are atomic (temp file + rename)
+// and loads are corruption-tolerant — a torn write, a version bump, a key
+// or fingerprint mismatch, or a checksum failure all read as a cache miss,
+// never an error, so the caller silently regenerates.
+package prepcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"r3dla/internal/core"
+	"r3dla/internal/isa"
+)
+
+// Version is the on-disk format version; bumping it orphans (and thereby
+// regenerates) every existing entry.
+const Version = 1
+
+// magic identifies a prep-cache file.
+var magic = [4]byte{'R', '3', 'P', 'C'}
+
+// Cache is a directory of serialized preparation entries. The zero value
+// is not usable; call New. A Cache is safe for concurrent use by multiple
+// goroutines and processes: writes are atomic renames and readers only
+// ever observe complete files.
+type Cache struct {
+	dir string
+}
+
+// New opens (creating if needed) a prep cache rooted at dir.
+func New(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("prepcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prepcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// payload is the gob-serialized body of an entry. Set.Prog is stripped
+// before encoding (the program is rebuilt by the caller and reattached on
+// load) — programs are large and the fingerprint already covers them.
+type payload struct {
+	Prof *core.Profile
+	Set  *core.Set
+}
+
+// Fingerprint hashes the instruction streams of the given programs; it is
+// the guard that ties a cache entry to the exact workload builds that
+// produced it.
+func Fingerprint(progs ...*isa.Program) uint64 {
+	h := fnv.New64a()
+	var buf [28]byte
+	for _, p := range progs {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(p.Entry))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(len(p.Insts)))
+		h.Write(buf[:16])
+		for i := range p.Insts {
+			in := &p.Insts[i]
+			buf[0] = byte(in.Op)
+			buf[1] = in.Rd
+			buf[2] = in.Rs1
+			buf[3] = in.Rs2
+			binary.LittleEndian.PutUint64(buf[4:12], uint64(in.Imm))
+			binary.LittleEndian.PutUint32(buf[12:16], uint32(in.Targ))
+			h.Write(buf[:16])
+		}
+	}
+	return h.Sum64()
+}
+
+// path maps a key to its file, sanitized so keys never escape the cache
+// directory. Collisions after sanitization are harmless: the exact key is
+// embedded in the header and verified on load.
+func (c *Cache) path(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '@', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+	return filepath.Join(c.dir, clean+".prep")
+}
+
+// Store serializes (prof, set) under key, guarded by the fingerprint of
+// (train, eval). The write is atomic: concurrent readers see either the
+// old entry or the new one, never a torn file.
+func (c *Cache) Store(key string, train, eval *isa.Program, prof *core.Profile, set *core.Set) error {
+	stripped := *set
+	stripped.Prog = nil
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload{Prof: prof, Set: &stripped}); err != nil {
+		return fmt.Errorf("prepcache: encode %s: %w", key, err)
+	}
+
+	var f bytes.Buffer
+	f.Write(magic[:])
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	f.Write(u32[:])
+	binary.LittleEndian.PutUint64(u64[:], Fingerprint(train, eval))
+	f.Write(u64[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(key)))
+	f.Write(u32[:])
+	f.WriteString(key)
+	binary.LittleEndian.PutUint64(u64[:], uint64(body.Len()))
+	f.Write(u64[:])
+	sum := fnv.New64a()
+	sum.Write(body.Bytes())
+	binary.LittleEndian.PutUint64(u64[:], sum.Sum64())
+	f.Write(u64[:])
+	f.Write(body.Bytes())
+
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("prepcache: %w", err)
+	}
+	if _, err := tmp.Write(f.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("prepcache: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("prepcache: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("prepcache: rename %s: %w", key, err)
+	}
+	return nil
+}
+
+// Load reads the entry for key, validating it against the fingerprint of
+// (train, eval). Any problem — missing file, wrong magic or version, key
+// or fingerprint mismatch, truncation, checksum failure, undecodable body
+// — is a miss (ok=false), signaling the caller to regenerate. On a hit the
+// returned Set has eval reattached as its Prog.
+func (c *Cache) Load(key string, train, eval *isa.Program) (prof *core.Profile, set *core.Set, ok bool) {
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	const fixed = 4 + 4 + 8 + 4 // magic, version, fingerprint, keyLen
+	if len(raw) < fixed {
+		return nil, nil, false
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return nil, nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != Version {
+		return nil, nil, false
+	}
+	if binary.LittleEndian.Uint64(raw[8:16]) != Fingerprint(train, eval) {
+		return nil, nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[16:20]))
+	rest := raw[20:]
+	if keyLen < 0 || len(rest) < keyLen+16 {
+		return nil, nil, false
+	}
+	if string(rest[:keyLen]) != key {
+		return nil, nil, false
+	}
+	rest = rest[keyLen:]
+	bodyLen := binary.LittleEndian.Uint64(rest[:8])
+	wantSum := binary.LittleEndian.Uint64(rest[8:16])
+	body := rest[16:]
+	if uint64(len(body)) != bodyLen {
+		return nil, nil, false
+	}
+	sum := fnv.New64a()
+	sum.Write(body)
+	if sum.Sum64() != wantSum {
+		return nil, nil, false
+	}
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&p); err != nil {
+		return nil, nil, false
+	}
+	if p.Prof == nil || p.Set == nil {
+		return nil, nil, false
+	}
+	p.Set.Prog = eval
+	return p.Prof, p.Set, true
+}

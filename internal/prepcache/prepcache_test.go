@@ -1,0 +1,250 @@
+package prepcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"r3dla/internal/core"
+	"r3dla/internal/emu"
+	"r3dla/internal/isa"
+	"r3dla/internal/workloads"
+)
+
+// Shared preparation artifacts, built once: Collect runs a real training
+// simulation, so every test reusing the same entry keeps the suite fast.
+const (
+	testBudget = 2000
+	testKey    = "mcf@2000"
+)
+
+type fixture struct {
+	train, eval *isa.Program
+	evalSetup   func(*emu.Memory)
+	prof        *core.Profile
+	set         *core.Set
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func prepFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		w := workloads.ByName("mcf")
+		trainProg, trainSetup := w.Build(1)
+		evalProg, evalSetup := w.Build(2)
+		prof := core.Collect(trainProg, trainSetup, testBudget)
+		set := core.Generate(evalProg, prof)
+		fix = fixture{train: trainProg, eval: evalProg, evalSetup: evalSetup, prof: prof, set: set}
+	})
+	return &fix
+}
+
+func storeFixture(t *testing.T) (*Cache, *fixture) {
+	t.Helper()
+	f := prepFixture(t)
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(testKey, f.train, f.eval, f.prof, f.set); err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+// runResults runs a short DLA simulation with the given artifacts; the
+// round-trip test compares full Results structs, which is the equality
+// that actually matters (gob byte-compare would be flaky for maps).
+func runResults(f *fixture, prof *core.Profile, set *core.Set) *core.Results {
+	sys := core.NewSystem(f.eval, f.evalSetup, set, prof, core.Options{TrialInsts: 1500})
+	return sys.Run(testBudget)
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, f := storeFixture(t)
+	prof, set, ok := c.Load(testKey, f.train, f.eval)
+	if !ok {
+		t.Fatal("Load missed immediately after Store")
+	}
+	if set.Prog != f.eval {
+		t.Error("loaded Set.Prog not reattached to the eval program")
+	}
+	want := runResults(f, f.prof, f.set)
+	got := runResults(f, prof, set)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("simulation with cached artifacts diverges from original:\nwant MT=%+v\ngot  MT=%+v", want.MT, got.MT)
+	}
+}
+
+func TestMissOnAbsentEntry(t *testing.T) {
+	f := prepFixture(t)
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); ok {
+		t.Fatal("Load hit on an empty cache")
+	}
+}
+
+// entryFile returns the single .prep file the fixture Store produced.
+func entryFile(t *testing.T, c *Cache) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(c.Dir(), "*.prep"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one .prep entry, got %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+// corrupt rewrites the stored entry through fn and asserts Load misses
+// (never errors, never panics) afterwards.
+func corrupt(t *testing.T, name string, fn func([]byte) []byte) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		c, f := storeFixture(t)
+		path := entryFile(t, c)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := c.Load(testKey, f.train, f.eval); ok {
+			t.Fatalf("Load hit on a %s entry", name)
+		}
+	})
+}
+
+func TestCorruptEntriesLoadAsMiss(t *testing.T) {
+	corrupt(t, "torn-write-truncated", func(b []byte) []byte { return b[:len(b)*3/5] })
+	corrupt(t, "truncated-inside-header", func(b []byte) []byte { return b[:10] })
+	corrupt(t, "empty-file", func(b []byte) []byte { return nil })
+	corrupt(t, "wrong-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt(t, "wrong-version", func(b []byte) []byte { b[4] ^= 0xFF; return b })
+	corrupt(t, "flipped-body-byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	// Header layout: magic(4) version(4) fingerprint(8) keyLen(4) key
+	// bodyLen(8) checksum(8) body — the checksum sits at 28+len(key).
+	corrupt(t, "flipped-checksum", func(b []byte) []byte { b[28+len(testKey)] ^= 0x01; return b })
+	corrupt(t, "garbage-body", func(b []byte) []byte {
+		// Valid header framing but a body gob cannot decode: zero the
+		// payload and fix up the checksum so only decoding fails.
+		headerLen := 20 + len(testKey) + 16
+		body := b[headerLen:]
+		for i := range body {
+			body[i] = 0
+		}
+		sum := fnvSum(body)
+		for i := 0; i < 8; i++ {
+			b[headerLen-8+i] = byte(sum >> (8 * i))
+		}
+		return b
+	})
+}
+
+// fnvSum mirrors the checksum the cache uses (FNV-64a), for tests that
+// re-frame a corrupted body.
+func fnvSum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// A renamed or copied entry (the "budget mismatch" failure: same workload
+// cached at a different training budget) must miss on the embedded key.
+func TestKeyMismatchIsMiss(t *testing.T) {
+	c, f := storeFixture(t)
+	const otherKey = "mcf@9999"
+	raw, err := os.ReadFile(entryFile(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(otherKey), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Load(otherKey, f.train, f.eval); ok {
+		t.Fatal("Load hit under a different key than the entry was stored with")
+	}
+	// The original key still hits.
+	if _, _, ok := c.Load(testKey, f.train, f.eval); !ok {
+		t.Fatal("original key stopped hitting")
+	}
+}
+
+// An entry stored for one workload build must miss when loaded against
+// different programs (the fingerprint guard).
+func TestFingerprintMismatchIsMiss(t *testing.T) {
+	c, f := storeFixture(t)
+	w := workloads.ByName("libq")
+	otherTrain, _ := w.Build(1)
+	otherEval, _ := w.Build(2)
+	if _, _, ok := c.Load(testKey, otherTrain, otherEval); ok {
+		t.Fatal("Load hit against programs with a different fingerprint")
+	}
+	if _, _, ok := c.Load(testKey, f.train, otherEval); ok {
+		t.Fatal("Load hit with a different eval program")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	f := prepFixture(t)
+	other, _ := workloads.ByName("libq").Build(1)
+	base := Fingerprint(f.train, other)
+	if Fingerprint(f.train, other) != base {
+		t.Fatal("Fingerprint not deterministic")
+	}
+	if Fingerprint(other, f.train) == base {
+		t.Error("Fingerprint ignores program order")
+	}
+	mutated := *f.train
+	mutated.Insts = append([]isa.Inst(nil), f.train.Insts...)
+	mutated.Insts[0].Imm++
+	if Fingerprint(&mutated, other) == base {
+		t.Error("Fingerprint ignores instruction changes")
+	}
+}
+
+// Store must be atomic: the cache directory never accumulates temp files,
+// and overwriting an entry keeps it loadable.
+func TestStoreAtomicAndOverwritable(t *testing.T) {
+	c, f := storeFixture(t)
+	if err := c.Store(testKey, f.train, f.eval, f.prof, f.set); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("cache dir should hold exactly the entry, got %v", names)
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); !ok {
+		t.Fatal("entry unreadable after overwrite")
+	}
+}
+
+func TestPathSanitizesKeys(t *testing.T) {
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.path("../../evil/../key@1")
+	if filepath.Dir(p) != c.Dir() {
+		t.Fatalf("sanitized path %q escapes the cache directory", p)
+	}
+}

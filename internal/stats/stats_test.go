@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{2, 8}); !approx(g, 4) {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	// Non-positive entries are ignored, not NaN-poisoning.
+	if g := Geomean([]float64{2, 8, 0, -3}); !approx(g, 4) {
+		t.Errorf("Geomean with non-positives = %v, want 4", g)
+	}
+	if g := Geomean([]float64{0, -1}); g != 0 {
+		t.Errorf("Geomean of all-non-positive = %v, want 0", g)
+	}
+}
+
+func TestMeanMedianMinMax(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 6}); !approx(m, 3) {
+		t.Errorf("Mean = %v, want 3", m)
+	}
+	if m := Median([]float64{5, 1, 3}); !approx(m, 3) {
+		t.Errorf("odd Median = %v, want 3", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); !approx(m, 2.5) {
+		t.Errorf("even Median = %v, want 2.5", m)
+	}
+	// Median must not reorder its input.
+	xs := []float64{5, 1, 3}
+	Median(xs)
+	if !reflect.DeepEqual(xs, []float64{5, 1, 3}) {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = (%v,%v), want zeros", lo, hi)
+	}
+}
+
+// TestSummarize pins the Summary shape the sweep engine's per-axis
+// marginals are built from.
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 8, 4})
+	want := Summary{N: 3, Geomean: 4, Mean: 14.0 / 3, Min: 2, Max: 8}
+	if s.N != want.N || !approx(s.Geomean, want.Geomean) || !approx(s.Mean, want.Mean) ||
+		s.Min != want.Min || s.Max != want.Max {
+		t.Errorf("Summarize = %+v, want %+v", s, want)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero value", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} { // 9 clamps to 4, -3 to 0
+		h.Add(v)
+	}
+	if h.Total != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total)
+	}
+	if !approx(h.P(1), 2.0/6) || !approx(h.P(4), 1.0/6) || h.P(99) != 0 {
+		t.Errorf("P wrong: P(1)=%v P(4)=%v P(99)=%v", h.P(1), h.P(4), h.P(99))
+	}
+	wantDist := []float64{2.0 / 6, 2.0 / 6, 1.0 / 6, 0, 1.0 / 6}
+	for i, p := range h.Dist() {
+		if !approx(p, wantDist[i]) {
+			t.Errorf("Dist[%d] = %v, want %v", i, p, wantDist[i])
+		}
+	}
+	if m := h.Mean(); !approx(m, (0*2+1*2+2*1+4*1)/6.0) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func sampleTable() *Table {
+	tb := &Table{
+		Title:  "IPC by preset",
+		Header: []string{"workload", "bl", "r3"},
+	}
+	tb.AddRow("mcf", "0.41", "0.87")
+	tb.AddRowF(2, "libq", 0.5, 1.25)
+	return tb
+}
+
+func TestTableConstruction(t *testing.T) {
+	tb := sampleTable()
+	want := [][]string{
+		{"mcf", "0.41", "0.87"},
+		{"libq", "0.50", "1.25"},
+	}
+	if !reflect.DeepEqual(tb.Rows, want) {
+		t.Errorf("Rows = %v, want %v", tb.Rows, want)
+	}
+	s := tb.String()
+	for _, frag := range []string{"== IPC by preset ==", "workload", "0.87", "1.25", "---"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestTableJSONRoundTrip: a Table marshals through its exported fields and
+// unmarshals back to an equal value — the experiment reports depend on it.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := sampleTable()
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*tb, back) {
+		t.Errorf("JSON round-trip: got %+v, want %+v", back, *tb)
+	}
+}
+
+// TestTableCSVRoundTrip: WriteCSV emits a `# title` comment, the header,
+// then rows, and the data parses back losslessly with encoding/csv.
+func TestTableCSVRoundTrip(t *testing.T) {
+	tb := sampleTable()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	if lines[0] != "# IPC by preset" {
+		t.Errorf("first line = %q, want title comment", lines[0])
+	}
+	recs, err := csv.NewReader(strings.NewReader(lines[1])).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([][]string{tb.Header}, tb.Rows...)
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("CSV round-trip: got %v, want %v", recs, want)
+	}
+
+	// An untitled table emits no comment line.
+	var buf2 bytes.Buffer
+	if err := (&Table{Header: []string{"a"}}).WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf2.String(), "#") {
+		t.Errorf("untitled table emitted a comment: %q", buf2.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####....." {
+		t.Errorf("Bar(5,10,10) = %q", b)
+	}
+	if b := Bar(20, 10, 10); b != "##########" {
+		t.Errorf("overflow Bar = %q", b)
+	}
+	if b := Bar(-1, 10, 4); b != "...." {
+		t.Errorf("negative Bar = %q", b)
+	}
+	if b := Bar(1, 0, 4); b != "####" {
+		t.Errorf("zero-scale Bar = %q", b)
+	}
+}
