@@ -7,24 +7,27 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
+	"r3dla/internal/dse"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
 
-// runSweep is the `r3dla sweep` subcommand: a parameter-space sweep over
-// the configuration grid, sharded across the Lab's worker pool, with
-// checkpoint/resume through an NDJSON journal. The grid comes from a
-// JSON spec file (-spec) or from per-axis flags; stdout carries the
-// aggregate tables (byte-identical for any -jobs), stderr the progress.
-func runSweep(args []string) {
-	fatalPrefix = "r3dla sweep"
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+// runExplore is the `r3dla explore` subcommand: adaptive design-space
+// exploration over a symbolic configuration space too large to sweep.
+// The space comes from an explore spec file (-spec, JSON) or from the
+// same per-axis flags as `r3dla sweep`; -strategy picks the search loop
+// (random / lhs one-shot sampling, successive halving on IPC, Pareto
+// search over IPC vs energy) and -seed fixes every random choice, so
+// stdout is byte-identical for any -jobs count, local or -backends, and
+// across -journal / -resume interruptions.
+func runExplore(args []string) {
+	fatalPrefix = "r3dla explore"
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
-		specPath  = fs.String("spec", "", "sweep spec file (JSON); overrides the axis flags")
+		specPath  = fs.String("spec", "", "explore spec file (JSON); overrides the axis flags")
 		wls       = fs.String("workloads", "", "comma-separated workloads, suites, or 'all'")
 		presets   = fs.String("preset", "", "preset axis: comma-separated baseline,dla,r3")
 		t1s       = fs.String("t1", "", "T1-offload axis: comma-separated true,false")
@@ -36,10 +39,17 @@ func runSweep(args []string) {
 		vqs       = fs.String("vq", "", "VQ-size axis: comma-separated ints")
 		versions  = fs.String("version", "", "fixed skeleton version axis: comma-separated ints")
 		cores     = fs.String("cores", "", "core-model axis: comma-separated default,wide,half")
-		budget    = fs.Uint64("budget", 150_000, "committed instructions per cell")
+		budget    = fs.Uint64("budget", 150_000, "full-fidelity committed instructions per cell")
+		strategy  = fs.String("strategy", dse.StrategyPareto, "search strategy: random, lhs, halving, pareto")
+		sampler   = fs.String("sampler", "", "candidate sampler for halving/pareto: random, lhs (default random)")
+		seed      = fs.Int64("seed", 1, "exploration seed; equal seeds give byte-identical output")
+		samples   = fs.Int("samples", 0, "cells drawn per round (0 = default)")
+		rounds    = fs.Int("rounds", 0, "pareto rounds (0 = default)")
+		eta       = fs.Int("eta", 0, "halving reduction factor (0 = default)")
+		minBudget = fs.Uint64("min-budget", 0, "halving round-0 budget (0 = derive from -budget)")
 		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
 		journal   = fs.String("journal", "", "checkpoint journal path (NDJSON, one cell per line)")
-		resume    = fs.Bool("resume", false, "skip cells already checkpointed in -journal")
+		resume    = fs.Bool("resume", false, "restore cells already checkpointed in -journal")
 		format    = fs.String("format", "text", "comma-separated output formats: text, json, csv")
 		outDir    = fs.String("out", "results", "directory for json/csv output files")
 		quiet     = fs.Bool("q", false, "suppress progress reporting on stderr")
@@ -55,22 +65,22 @@ func runSweep(args []string) {
 		}
 	})
 
-	var spec sweep.Spec
+	var spec dse.Spec
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if spec, err = sweep.ParseSpec(data); err != nil {
+		if spec, err = dse.ParseSpec(data); err != nil {
 			fatalf("%v", err)
 		}
-		// Precedence: an explicit -budget beats the spec file's budget,
-		// which beats the default.
-		if budgetSet || spec.Budget == 0 {
-			spec.Budget = *budget
+		// Precedence, as in sweep: an explicit flag beats the spec file's
+		// value, which beats the default.
+		if budgetSet || spec.Space.Budget == 0 {
+			spec.Space.Budget = *budget
 		}
 	} else {
-		spec = sweep.Spec{
+		spec.Space = sweep.Spec{
 			Workloads: splitList(*wls),
 			Budget:    *budget,
 			Axes: sweep.Axes{
@@ -87,6 +97,31 @@ func runSweep(args []string) {
 			},
 		}
 	}
+	// Search flags override the spec file where set (zero means "spec's
+	// value, else the package default").
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if setFlags["strategy"] || spec.Strategy == "" {
+		spec.Strategy = *strategy
+	}
+	if setFlags["sampler"] || spec.Sampler == "" {
+		spec.Sampler = *sampler
+	}
+	if setFlags["seed"] || spec.Seed == 0 {
+		spec.Seed = *seed
+	}
+	if setFlags["samples"] || spec.Samples == 0 {
+		spec.Samples = *samples
+	}
+	if setFlags["rounds"] || spec.Rounds == 0 {
+		spec.Rounds = *rounds
+	}
+	if setFlags["eta"] || spec.Eta == 0 {
+		spec.Eta = *eta
+	}
+	if setFlags["min-budget"] || spec.MinBudget == 0 {
+		spec.MinBudget = *minBudget
+	}
 	if *resume && *journal == "" {
 		fatalf("-resume requires -journal")
 	}
@@ -101,18 +136,17 @@ func runSweep(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// Cells run through a Runner: the in-process Lab, or a fleet pool
-	// routing cells across r3dlad backends. The journal sits on this side
-	// of the boundary, so checkpoint/resume works identically either way;
-	// the backends must advertise the sweep's budget (verified up front),
-	// because skeleton preparation runs at the server's training budget.
+	// The search loop draws cells, a Runner evaluates them: the in-process
+	// Lab or a fleet pool over r3dlad backends. Journal and sampler state
+	// both live on this side of the boundary, so a distributed exploration
+	// checkpoints, resumes and byte-matches a local one.
 	var runner sweep.Runner
 	if *backends != "" {
 		remotes, err := parseBackends(*backends)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := verifyFleetBudget(ctx, remotes, spec.Budget); err != nil {
+		if err := verifyFleetBudget(ctx, remotes, spec.Space.Budget); err != nil {
 			fatalf("%v", err)
 		}
 		pool, err := newFleetPool(remotes, *jobs, *hedge)
@@ -122,33 +156,34 @@ func runSweep(args []string) {
 		defer pool.Close()
 		runner = pool
 	} else {
-		l, err := lab.New(lab.WithBudget(spec.Budget), lab.WithJobs(*jobs))
+		l, err := lab.New(lab.WithBudget(spec.Space.Budget), lab.WithJobs(*jobs))
 		if err != nil {
 			fatalf("%v", err)
 		}
 		runner = l
 	}
 
-	opts := sweep.Options{Journal: *journal, Resume: *resume}
+	opts := dse.Options{Journal: *journal, Resume: *resume}
 	if !*quiet {
 		opts.Progress = func(ev sweep.Event) {
 			state := ev.Elapsed.Round(time.Millisecond).String()
 			if ev.Resumed {
 				state = "resumed"
 			}
-			fmt.Fprintf(os.Stderr, "  [cell %d/%d] %-9s %s (%s)\n",
-				ev.Done, ev.Total, ev.Cell.Workload, strings.Join(ev.Cell.Coords, " "), state)
+			fmt.Fprintf(os.Stderr, "  [cell %d/%d @%d] %-9s %s (%s)\n",
+				ev.Done, ev.Total, ev.Result.Budget, ev.Cell.Workload,
+				strings.Join(ev.Cell.Coords, " "), state)
 		}
 	}
-	res, err := sweep.Run(ctx, runner, spec, opts)
+	res, err := dse.Explore(ctx, runner, spec, opts)
 	if err != nil {
 		if *journal != "" && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "r3dla sweep: interrupted; resume with -journal %s -resume\n", *journal)
+			fmt.Fprintf(os.Stderr, "r3dla explore: interrupted; resume with -journal %s -resume\n", *journal)
 		}
 		fatalf("%v", err)
 	}
 	if res.Resumed > 0 {
-		fmt.Fprintf(os.Stderr, "r3dla sweep: %d/%d cells restored from %s\n", res.Resumed, len(res.Cells), *journal)
+		fmt.Fprintf(os.Stderr, "r3dla explore: %d/%d cells restored from %s\n", res.Resumed, len(res.Evaluated), *journal)
 	}
 
 	rep := res.Report()
@@ -156,86 +191,13 @@ func runSweep(args []string) {
 		fmt.Println(rep.String())
 	}
 	if wantJSON {
-		if err := writeFile(filepath.Join(*outDir, "sweep.json"), rep.WriteJSON); err != nil {
+		if err := writeFile(filepath.Join(*outDir, "explore.json"), rep.WriteJSON); err != nil {
 			fatalf("%v", err)
 		}
 	}
 	if wantCSV {
-		if err := writeFile(filepath.Join(*outDir, "sweep.csv"), rep.WriteCSV); err != nil {
+		if err := writeFile(filepath.Join(*outDir, "explore.csv"), rep.WriteCSV); err != nil {
 			fatalf("%v", err)
 		}
 	}
-}
-
-// fatalPrefix names the subcommand in fatalf output; each subcommand
-// sets it on entry so the shared flag parsers report the right context.
-var fatalPrefix = "r3dla sweep"
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, fatalPrefix+": "+format+"\n", args...)
-	os.Exit(1)
-}
-
-// splitList splits a comma-separated flag value ("" = nil).
-func splitList(s string) []string {
-	if s == "" {
-		return nil
-	}
-	var out []string
-	for _, e := range strings.Split(s, ",") {
-		if e = strings.TrimSpace(e); e != "" {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-func parseBools(name, s string) []bool {
-	var out []bool
-	for _, e := range splitList(s) {
-		v, err := strconv.ParseBool(e)
-		if err != nil {
-			fatalf("-%s: %q is not a bool", name, e)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-func parseInts(name, s string) []int {
-	var out []int
-	for _, e := range splitList(s) {
-		v, err := strconv.Atoi(e)
-		if err != nil {
-			fatalf("-%s: %q is not an int", name, e)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-func parseCores(s string) []lab.CoreSpec {
-	var out []lab.CoreSpec
-	for _, e := range splitList(s) {
-		out = append(out, lab.CoreSpec{Model: e})
-	}
-	return out
-}
-
-func parseFormats(format string) (text, jsonF, csvF bool) {
-	for _, f := range strings.Split(format, ",") {
-		switch strings.TrimSpace(f) {
-		case "text":
-			text = true
-		case "json":
-			jsonF = true
-		case "csv":
-			csvF = true
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json, csv)\n", f)
-			os.Exit(2)
-		}
-	}
-	return
 }

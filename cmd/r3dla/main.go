@@ -15,12 +15,20 @@
 //	r3dla sweep -spec sweep.json -journal sweep.ndjson
 //	r3dla sweep -spec sweep.json -journal sweep.ndjson -resume
 //
+//	r3dla explore -workloads all -boq 16,64,256,1024 -fq 16,64,256 \
+//	    -strategy pareto -seed 7 -samples 64 -rounds 2
+//	r3dla explore -spec explore.json -journal explore.ndjson -resume
+//
 // The run subcommand executes one simulation and prints its RunResult
 // JSON. The sweep subcommand explores a configuration grid (axes over
 // presets, feature toggles, queue sizes, skeleton versions and core
 // models) across a workload set, checkpointing completed cells to
 // -journal so a killed sweep resumes with -resume; see README §sweeps
-// for the spec format.
+// for the spec format. The explore subcommand searches spaces too large
+// to sweep: the same axes enumerated lazily, sampled (seeded random or
+// Latin hypercube) and searched adaptively (successive halving on IPC,
+// Pareto search over IPC vs energy) — fixed seed, byte-identical output
+// (README "Exploring large spaces", DESIGN.md §9).
 //
 // All three modes accept -backends host1:8080,host2:8080 to distribute
 // work across a fleet of r3dlad instances: cells route least-loaded with
@@ -53,6 +61,9 @@ func main() {
 		switch os.Args[1] {
 		case "sweep":
 			runSweep(os.Args[2:])
+			return
+		case "explore":
+			runExplore(os.Args[2:])
 			return
 		case "run":
 			runRun(os.Args[2:])

@@ -18,6 +18,7 @@
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1: NDJSON progress)
 //	POST /v1/runs                 one simulation (RunRequest JSON body)
 //	POST /v1/sweeps               parameter sweep (sweep.Spec JSON body; NDJSON cell stream)
+//	POST /v1/explore              adaptive exploration (dse.Spec JSON body; NDJSON cell stream)
 //
 // A disconnecting client cancels its in-flight simulation cooperatively
 // (accounted as a 499 in /v1/healthz counters); SIGINT/SIGTERM drain the
@@ -39,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"r3dla/internal/dse"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
@@ -65,6 +67,7 @@ func main() {
 	}
 	h := lab.NewServer(l, lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight))
 	h.Handle("POST /v1/sweeps", sweep.NewHandler(l, h))
+	h.Handle("POST /v1/explore", dse.NewHandler(l, h))
 	srv := &http.Server{
 		Addr:        *addr,
 		Handler:     h,

@@ -1,0 +1,446 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"r3dla/internal/exp"
+	"r3dla/internal/lab"
+	"r3dla/internal/stats"
+	"r3dla/internal/sweep"
+)
+
+// Options configure one exploration execution. They mirror sweep.Options
+// because evaluation *is* the sweep engine: every batch a searcher
+// submits goes through sweep.RunCells with these settings, so the
+// journal accumulates cells from every round and a killed exploration
+// resumes without repeating any completed simulation.
+type Options struct {
+	// Journal, when non-empty, checkpoints every completed cell (NDJSON,
+	// keyed by the cell's canonical workload|configKey@budget identity —
+	// halving rounds at different budgets journal as distinct cells).
+	Journal string
+
+	// Resume restores journaled cells before the first batch runs.
+	// Requires Journal. Later batches of the same exploration always
+	// consult the journal — that is what makes a crash mid-round
+	// resumable at cell granularity, not round granularity.
+	Resume bool
+
+	// Progress receives one sweep.Event per completed cell (Done/Total
+	// are batch-relative). May be called from multiple goroutines.
+	Progress func(sweep.Event)
+}
+
+// Round summarizes one searcher iteration.
+type Round struct {
+	Round   int     `json:"round"`
+	Budget  uint64  `json:"budget"`
+	Cells   int     `json:"cells"`     // fresh cells evaluated this round
+	Kept    int     `json:"kept"`      // candidates promoted / frontier size
+	BestIPC float64 `json:"best_ipc"`  // best IPC seen by this round's rank
+	BestKey string  `json:"best_cell"` // human label of that cell (workload + coords)
+}
+
+// Result is a completed exploration. Everything in it is a pure function
+// of (spec, seed) — Evaluated holds every cell in deterministic
+// evaluation order (round by round, draw order within a round), so the
+// rendered report is byte-identical for any worker count, any Runner,
+// and any interruption history.
+type Result struct {
+	Spec      Spec               `json:"spec"`
+	SpaceSize int64              `json:"space_size"`
+	Rounds    []Round            `json:"rounds"`
+	Evaluated []sweep.CellResult `json:"evaluated"`
+	Survivors []sweep.CellResult `json:"survivors,omitempty"` // halving: final top candidates
+	Frontier  []sweep.CellResult `json:"frontier,omitempty"`  // non-dominated IPC-vs-energy set
+	Resumed   int                `json:"resumed"`             // cells restored from the journal
+}
+
+// explorer carries one exploration's state across rounds.
+type explorer struct {
+	spec    Spec
+	space   *Space
+	sampler Sampler
+	runner  sweep.Runner
+	opts    Options
+	res     *Result
+	seen    map[string]bool // canonical keys already submitted
+	batches int
+}
+
+// Explore runs one exploration through r: the spec is validated and
+// defaulted, the space opened lazily, and the selected strategy draws
+// and evaluates batches until it converges. r is any sweep.Runner — the
+// in-process Lab or a fleet pool — and because batch composition depends
+// only on the seed and on deterministic results, output is byte-stable
+// whichever executes the cells.
+func Explore(ctx context.Context, r sweep.Runner, spec Spec, opts Options) (*Result, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Resume && opts.Journal == "" {
+		return nil, fmt.Errorf("%w: resume requires a journal path", lab.ErrInvalid)
+	}
+	space, err := NewSpace(spec.Space)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := NewSampler(spec.Sampler, space, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &explorer{
+		spec: spec, space: space, sampler: smp, runner: r, opts: opts,
+		res:  &Result{Spec: spec, SpaceSize: space.Size()},
+		seen: make(map[string]bool),
+	}
+	switch spec.Strategy {
+	case StrategyHalving:
+		err = e.runHalving(ctx)
+	case StrategyPareto:
+		err = e.runPareto(ctx)
+	default: // random, lhs
+		err = e.runOneShot(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.res.Frontier = frontier(e.fullBudgetEvals())
+	return e.res, nil
+}
+
+// fullBudgetEvals filters Evaluated down to full-fidelity results — the
+// only ones comparable on the objective plane (halving's probe rounds
+// ran cheaper, noisier simulations).
+func (e *explorer) fullBudgetEvals() []sweep.CellResult {
+	if e.spec.Space.Budget == 0 {
+		return e.res.Evaluated // single-budget strategies at the runner default
+	}
+	var out []sweep.CellResult
+	for _, c := range e.res.Evaluated {
+		if c.Result.Budget == e.spec.Space.Budget {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// eval submits one batch through the sweep engine and folds the results
+// into the running exploration.
+func (e *explorer) eval(ctx context.Context, cells []sweep.Cell, budget uint64) ([]sweep.CellResult, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	bspec := e.spec.Space
+	bspec.Budget = budget
+	// The first batch resumes only on request; every later batch of this
+	// exploration consults the journal unconditionally — cells completed
+	// before a crash restore no matter which round they belonged to.
+	resume := e.opts.Journal != "" && (e.opts.Resume || e.batches > 0)
+	e.batches++
+	sres, err := sweep.RunCells(ctx, e.runner, bspec, cells, sweep.Options{
+		Journal:  e.opts.Journal,
+		Resume:   resume,
+		Progress: e.opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.res.Resumed += sres.Resumed
+	e.res.Evaluated = append(e.res.Evaluated, sres.Cells...)
+	return sres.Cells, nil
+}
+
+// runOneShot evaluates a single sampler draw at the full budget.
+func (e *explorer) runOneShot(ctx context.Context) error {
+	draw := e.sampler.Draw(e.spec.Samples)
+	if len(draw) == 0 {
+		return fmt.Errorf("%w: empty space", lab.ErrInvalid)
+	}
+	cells, err := e.space.cells(draw, e.spec.Space.Budget, e.seen)
+	if err != nil {
+		return err
+	}
+	batch, err := e.eval(ctx, cells, e.spec.Space.Budget)
+	if err != nil {
+		return err
+	}
+	best := bestByIPC(batch)
+	e.res.Rounds = append(e.res.Rounds, Round{
+		Round: 0, Budget: e.spec.Space.Budget, Cells: len(batch),
+		Kept: len(batch), BestIPC: best.Result.IPC, BestKey: cellLabel(best.Cell),
+	})
+	return nil
+}
+
+// runPareto accumulates sampler draws round by round, maintaining the
+// non-dominated archive over everything evaluated so far.
+func (e *explorer) runPareto(ctx context.Context) error {
+	full := e.spec.Space.Budget
+	for round := 0; round < e.spec.Rounds; round++ {
+		draw := e.sampler.Draw(e.spec.Samples)
+		if len(draw) == 0 {
+			break // space exhausted
+		}
+		cells, err := e.space.cells(draw, full, e.seen)
+		if err != nil {
+			return err
+		}
+		if _, err := e.eval(ctx, cells, full); err != nil {
+			return err
+		}
+		front := frontier(e.res.Evaluated)
+		r := Round{Round: round, Budget: full, Cells: len(cells), Kept: len(front)}
+		if len(front) > 0 {
+			r.BestIPC, r.BestKey = front[0].Result.IPC, cellLabel(front[0].Cell)
+		}
+		e.res.Rounds = append(e.res.Rounds, r)
+	}
+	if len(e.res.Evaluated) == 0 {
+		return fmt.Errorf("%w: empty space", lab.ErrInvalid)
+	}
+	return nil
+}
+
+// runHalving is successive halving on IPC: a broad candidate draw probes
+// at MinBudget, each round keeps the top ceil(n/eta) and multiplies the
+// budget by eta (capped at the full budget), and the last round — at
+// full fidelity — selects the survivors. Cheap early rounds are noisy
+// estimators of the full-budget objective; rising budgets spend
+// simulation time only on candidates that keep earning it.
+func (e *explorer) runHalving(ctx context.Context) error {
+	cand := e.sampler.Draw(e.spec.Samples)
+	if len(cand) == 0 {
+		return fmt.Errorf("%w: empty space", lab.ErrInvalid)
+	}
+	full := e.spec.Space.Budget
+	// The budget ladder is derived by division from the full budget —
+	// MinBudget, then every full/eta^j above it, ending exactly at full —
+	// so the final round always runs at full fidelity and never lands one
+	// rounding error short of it (which would cost a near-duplicate round).
+	rungs := []uint64{e.spec.MinBudget}
+	var above []uint64
+	for b := full; b > e.spec.MinBudget; b /= uint64(e.spec.Eta) {
+		above = append(above, b)
+	}
+	for i := len(above) - 1; i >= 0; i-- {
+		rungs = append(rungs, above[i])
+	}
+	for round := 0; ; round++ {
+		budget := rungs[round]
+		cells, err := e.space.cells(cand, budget, e.seen)
+		if err != nil {
+			return err
+		}
+		batch, err := e.eval(ctx, cells, budget)
+		if err != nil {
+			return err
+		}
+		byKey := make(map[string]*lab.RunResult, len(batch))
+		for _, cr := range batch {
+			byKey[cr.Key] = cr.Result
+		}
+
+		// Rank the candidate pool by this round's IPC, deduping indices
+		// that alias to one canonical configuration (first index wins).
+		// Ties break on the enumeration index, so ranking is total and
+		// deterministic.
+		type scored struct {
+			idx  int64
+			key  string
+			cell sweep.Cell
+			ipc  float64
+		}
+		var ranked []scored
+		seenKey := make(map[string]bool, len(cand))
+		for _, i := range cand {
+			c, err := e.space.CellAt(i, budget)
+			if err != nil {
+				return err
+			}
+			if seenKey[c.Key] {
+				continue
+			}
+			seenKey[c.Key] = true
+			r, ok := byKey[c.Key]
+			if !ok {
+				return fmt.Errorf("dse: internal: no result for cell %s", c.Key)
+			}
+			ranked = append(ranked, scored{idx: i, key: c.Key, cell: c, ipc: r.IPC})
+		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if ranked[i].ipc != ranked[j].ipc {
+				return ranked[i].ipc > ranked[j].ipc
+			}
+			return ranked[i].idx < ranked[j].idx
+		})
+
+		keep := (len(ranked) + e.spec.Eta - 1) / e.spec.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > len(ranked) {
+			keep = len(ranked)
+		}
+		e.res.Rounds = append(e.res.Rounds, Round{
+			Round: round, Budget: budget, Cells: len(batch), Kept: keep,
+			BestIPC: ranked[0].ipc, BestKey: cellLabel(ranked[0].cell),
+		})
+
+		if round == len(rungs)-1 {
+			// Full fidelity reached: the top of this ranking survives.
+			for _, s := range ranked[:keep] {
+				e.res.Survivors = append(e.res.Survivors, sweep.CellResult{Cell: s.cell, Result: byKey[s.key]})
+			}
+			return nil
+		}
+		cand = cand[:0]
+		for _, s := range ranked[:keep] {
+			cand = append(cand, s.idx)
+		}
+	}
+}
+
+// cellLabel is the compact human name of a cell: workload plus axis
+// value labels (canonical keys dump whole config specs — fine as
+// identities, unreadable in a trajectory table).
+func cellLabel(c sweep.Cell) string {
+	if len(c.Coords) == 0 {
+		return c.Workload
+	}
+	return c.Workload + " " + strings.Join(c.Coords, " ")
+}
+
+// bestByIPC picks the best cell of a batch (IPC descending, key
+// ascending on ties).
+func bestByIPC(cells []sweep.CellResult) sweep.CellResult {
+	best := cells[0]
+	for _, c := range cells[1:] {
+		if c.Result.IPC > best.Result.IPC ||
+			(c.Result.IPC == best.Result.IPC && c.Key < best.Key) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ------------------------------------------------------------- reporting
+
+// maxTopCells bounds the "top cells by IPC" table.
+const maxTopCells = 16
+
+// Report renders the exploration as an experiment-style report: a
+// summary header, the per-round trajectory, the survivor set (halving),
+// the IPC-vs-energy Pareto frontier, a top-cells table and an objective
+// summary. Like the sweep report it is a pure function of the result,
+// byte-identical however the cells were computed.
+func (r *Result) Report() *exp.Report {
+	axes := r.Spec.Space.AxisNames()
+
+	title := fmt.Sprintf("explore: %s over a %d-cell space, %d evaluated (seed %d)",
+		r.Spec.Strategy, r.SpaceSize, len(r.Evaluated), r.Spec.Seed)
+	summary := &stats.Table{
+		Title: title,
+		// No "resumed" column: the report is byte-identical for resumed and
+		// uninterrupted runs, and a resume count would (correctly) differ.
+		Header: []string{"strategy", "sampler", "seed", "space_cells", "evaluated", "rounds", "survivors", "frontier"},
+	}
+	summary.AddRow(r.Spec.Strategy, r.Spec.Sampler, fmt.Sprintf("%d", r.Spec.Seed),
+		fmt.Sprintf("%d", r.SpaceSize), fmt.Sprintf("%d", len(r.Evaluated)),
+		fmt.Sprintf("%d", len(r.Rounds)),
+		fmt.Sprintf("%d", len(r.Survivors)), fmt.Sprintf("%d", len(r.Frontier)))
+
+	rep := exp.NewReport(summary)
+	rep.ID = "explore"
+	rep.Title = title
+
+	if len(r.Rounds) > 0 {
+		t := &stats.Table{
+			Title:  "search trajectory (one row per round)",
+			Header: []string{"round", "budget", "cells", "kept", "best_ipc", "best_cell"},
+		}
+		for _, rd := range r.Rounds {
+			t.AddRow(fmt.Sprintf("%d", rd.Round), fmt.Sprintf("%d", rd.Budget),
+				fmt.Sprintf("%d", rd.Cells), fmt.Sprintf("%d", rd.Kept),
+				fmt.Sprintf("%.4f", rd.BestIPC), rd.BestKey)
+		}
+		rep.Add(t)
+	}
+
+	cellTable := func(title string, cells []sweep.CellResult) {
+		if len(cells) == 0 {
+			return
+		}
+		t := &stats.Table{Title: title}
+		t.Header = append(append([]string{"workload"}, axes...),
+			"ipc", "energy_j", "power_w", "cycles")
+		for _, c := range cells {
+			row := append([]string{c.Workload}, c.Coords...)
+			row = append(row,
+				fmt.Sprintf("%.4f", c.Result.IPC),
+				fmt.Sprintf("%.3e", c.Result.EnergyJ),
+				fmt.Sprintf("%.3f", c.Result.PowerW),
+				fmt.Sprintf("%d", c.Result.Cycles),
+			)
+			t.AddRow(row...)
+		}
+		rep.Add(t)
+	}
+
+	cellTable(fmt.Sprintf("survivors (successive halving, final budget %d)", r.Spec.Space.Budget), r.Survivors)
+	cellTable("IPC-vs-energy Pareto frontier (non-dominated, IPC descending)", r.Frontier)
+
+	// Top cells by IPC over the full-budget evaluations, for strategies
+	// whose headline is not already a ranked table.
+	if len(r.Survivors) == 0 {
+		full := r.fullEvals()
+		ranked := append([]sweep.CellResult(nil), full...)
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if ranked[i].Result.IPC != ranked[j].Result.IPC {
+				return ranked[i].Result.IPC > ranked[j].Result.IPC
+			}
+			return ranked[i].Key < ranked[j].Key
+		})
+		if len(ranked) > maxTopCells {
+			ranked = ranked[:maxTopCells]
+		}
+		cellTable(fmt.Sprintf("top %d cells by IPC", len(ranked)), ranked)
+	}
+
+	if full := r.fullEvals(); len(full) > 0 {
+		t := &stats.Table{
+			Title:  "objective summary over full-budget evaluations",
+			Header: []string{"objective", "n", "geomean", "mean", "min", "max"},
+		}
+		var ipcs, energies []float64
+		for _, c := range full {
+			ipcs = append(ipcs, c.Result.IPC)
+			energies = append(energies, c.Result.EnergyJ)
+		}
+		si, se := stats.Summarize(ipcs), stats.Summarize(energies)
+		t.AddRow("ipc", fmt.Sprintf("%d", si.N), fmt.Sprintf("%.4f", si.Geomean),
+			fmt.Sprintf("%.4f", si.Mean), fmt.Sprintf("%.4f", si.Min), fmt.Sprintf("%.4f", si.Max))
+		t.AddRow("energy_j", fmt.Sprintf("%d", se.N), fmt.Sprintf("%.3e", se.Geomean),
+			fmt.Sprintf("%.3e", se.Mean), fmt.Sprintf("%.3e", se.Min), fmt.Sprintf("%.3e", se.Max))
+		rep.Add(t)
+	}
+	return rep
+}
+
+// fullEvals is fullBudgetEvals reachable from a deserialized Result.
+func (r *Result) fullEvals() []sweep.CellResult {
+	if r.Spec.Space.Budget == 0 {
+		return r.Evaluated
+	}
+	var out []sweep.CellResult
+	for _, c := range r.Evaluated {
+		if c.Result.Budget == r.Spec.Space.Budget {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// fakeRunner is a synthetic sweep.Runner: IPC and energy are cheap pure
+// functions of the configuration (keyed on BOQ size), so searcher logic
+// — ranking, promotion, dominance — is testable without a simulator.
+type fakeRunner struct {
+	mu    sync.Mutex
+	runs  int
+	objFn func(boq int, budget uint64) (ipc, energy float64)
+}
+
+func (f *fakeRunner) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	f.mu.Lock()
+	f.runs++
+	f.mu.Unlock()
+	boq := 0
+	if req.Config.BOQSize != nil {
+		boq = *req.Config.BOQSize
+	}
+	ipc, energy := f.objFn(boq, req.Budget)
+	return &lab.RunResult{
+		Workload: req.Workload,
+		Budget:   req.Budget,
+		IPC:      ipc,
+		EnergyJ:  energy,
+		Cycles:   req.Budget,
+	}, nil
+}
+
+// fakeSpec is a 16-cell one-axis space over BOQ sizes 8,16,...,128.
+func fakeSpec(budget uint64) sweep.Spec {
+	boqs := make([]int, 16)
+	for i := range boqs {
+		boqs[i] = (i + 1) * 8
+	}
+	return sweep.Spec{
+		Workloads: []string{"mcf"},
+		Budget:    budget,
+		Base:      lab.ConfigSpec{Preset: "dla"},
+		Axes:      sweep.Axes{BOQSize: boqs},
+	}
+}
+
+// TestHalvingSelectsSurvivor runs successive halving against a synthetic
+// objective monotone in BOQ size: the survivor must be the largest BOQ
+// among the round-0 candidates, the budget ladder must rise MinBudget ->
+// xEta -> full, and the candidate pool must shrink by eta each round.
+func TestHalvingSelectsSurvivor(t *testing.T) {
+	r := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		return float64(boq), 1000 / float64(boq)
+	}}
+	spec := Spec{
+		Space:    fakeSpec(64000),
+		Strategy: StrategyHalving,
+		Seed:     9,
+		Samples:  8,
+		Eta:      4, // MinBudget derives to 64000/4^3 = 1000
+	}
+	res, err := Explore(context.Background(), r, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantBudgets := []uint64{1000, 4000, 16000, 64000}
+	wantCells := []int{8, 2, 1, 1}
+	wantKept := []int{2, 1, 1, 1}
+	if len(res.Rounds) != len(wantBudgets) {
+		t.Fatalf("ran %d rounds, want %d: %+v", len(res.Rounds), len(wantBudgets), res.Rounds)
+	}
+	for i, rd := range res.Rounds {
+		if rd.Budget != wantBudgets[i] || rd.Cells != wantCells[i] || rd.Kept != wantKept[i] {
+			t.Fatalf("round %d = {budget %d, cells %d, kept %d}, want {%d, %d, %d}",
+				i, rd.Budget, rd.Cells, rd.Kept, wantBudgets[i], wantCells[i], wantKept[i])
+		}
+	}
+	if want := 8 + 2 + 1 + 1; len(res.Evaluated) != want || r.runs != want {
+		t.Fatalf("evaluated %d cells, ran %d simulations, want %d", len(res.Evaluated), r.runs, want)
+	}
+
+	// Replay the sampler: the survivor must be the best (largest-BOQ)
+	// round-0 candidate, evaluated at the full budget.
+	sp, err := NewSpace(spec.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := NewSampler(SamplerRandom, sp, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestIPC := -1.0
+	for _, i := range smp.Draw(spec.Samples) {
+		c, err := sp.CellAt(i, 64000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// IPC of the fake objective is the BOQ size = 8*(index+1).
+		if ipc := float64(8 * (i + 1)); ipc > bestIPC {
+			bestIPC = ipc
+			_ = c
+		}
+	}
+	if len(res.Survivors) != 1 {
+		t.Fatalf("got %d survivors, want 1", len(res.Survivors))
+	}
+	s := res.Survivors[0]
+	if s.Result.IPC != bestIPC || s.Result.Budget != 64000 {
+		t.Fatalf("survivor ipc %.0f at budget %d, want %.0f at 64000", s.Result.IPC, s.Result.Budget, bestIPC)
+	}
+	// The frontier only considers full-budget evaluations.
+	for _, c := range res.Frontier {
+		if c.Result.Budget != 64000 {
+			t.Fatalf("frontier includes probe-budget cell %s", c.Key)
+		}
+	}
+}
+
+// TestHalvingRanksPerRound flips the objective's ordering between probe
+// and full budgets for one candidate: promotion must follow the budget
+// the round actually ran at, not the final one.
+func TestHalvingPromotionUsesRoundBudget(t *testing.T) {
+	// At small budgets BOQ 8 looks best by far; at the full budget the
+	// ranking is monotone in BOQ. The winner must be whatever survived the
+	// early rounds — i.e. BOQ 8 if it was drawn (it always scores highest
+	// at probes), showing probe results drive promotion.
+	r := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		if budget < 64000 && boq == 8 {
+			return 1e6, 1
+		}
+		return float64(boq), 1000 / float64(boq)
+	}}
+	spec := Spec{
+		Space:    fakeSpec(64000),
+		Strategy: StrategyHalving,
+		Seed:     1, // must draw index 0 (BOQ 8) among 8 of 16 candidates... pinned below
+		Samples:  16,
+		Eta:      16, // one probe round keeps 1, then the full-budget round
+	}
+	res, err := Explore(context.Background(), r, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples=16 covers the whole space, so BOQ 8 is certainly drawn; with
+	// eta=16 only it survives the probe round.
+	if len(res.Survivors) != 1 {
+		t.Fatalf("got %d survivors, want 1", len(res.Survivors))
+	}
+	if got := res.Survivors[0].Result.IPC; got != 8 {
+		t.Fatalf("survivor IPC %.0f, want 8 (probe-round winner)", got)
+	}
+}
+
+// TestParetoSyntheticFrontier runs the Pareto strategy against an
+// objective with genuine trade-offs and asserts the reported frontier is
+// exactly the non-dominated subset of everything evaluated.
+func TestParetoSyntheticFrontier(t *testing.T) {
+	// ipc and energy both "improve" with BOQ along different residues, so
+	// the plane has real trade-offs (spot-checked non-trivial below).
+	r := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		return float64((boq * 7) % 13), float64((boq*5)%11 + 1)
+	}}
+	spec := Spec{
+		Space:    fakeSpec(2000),
+		Strategy: StrategyPareto,
+		Seed:     5,
+		Samples:  6,
+		Rounds:   2,
+	}
+	res, err := Explore(context.Background(), r, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 || len(res.Evaluated) != 12 {
+		t.Fatalf("rounds %d evaluated %d, want 2 rounds over 12 cells", len(res.Rounds), len(res.Evaluated))
+	}
+	if len(res.Frontier) < 2 {
+		t.Fatalf("degenerate frontier (%d points) — objective should force trade-offs", len(res.Frontier))
+	}
+	for _, f := range res.Frontier {
+		for _, o := range res.Evaluated {
+			if pointOf(o).Dominates(pointOf(f)) {
+				t.Fatalf("frontier cell %s is dominated by %s", f.Key, o.Key)
+			}
+		}
+	}
+	// Every evaluated cell outside the frontier is dominated or an exact
+	// duplicate of a frontier point.
+	onFront := map[string]bool{}
+	for _, f := range res.Frontier {
+		onFront[f.Key] = true
+	}
+	for _, o := range res.Evaluated {
+		if onFront[o.Key] {
+			continue
+		}
+		ok := false
+		for _, f := range res.Frontier {
+			if pointOf(f).Dominates(pointOf(o)) || pointOf(f) == pointOf(o) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("cell %s is non-dominated but missing from the frontier", o.Key)
+		}
+	}
+}
+
+// --------------------------------------------------------- real-lab tests
+
+func newTestLab(t *testing.T, jobs int) *lab.Lab {
+	t.Helper()
+	l, err := lab.New(lab.WithBudget(2000), lab.WithJobs(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// labSpec is the exploration the real-simulator tests share: pareto
+// search, 2 rounds x 4 samples over the 48-cell test space at budget
+// 2000.
+func labSpec() Spec {
+	return Spec{
+		Space:    testSpaceSpec(),
+		Strategy: StrategyPareto,
+		Seed:     21,
+		Samples:  4,
+		Rounds:   2,
+	}
+}
+
+// renderAll renders an exploration every way the CLI surfaces it.
+func renderAll(t *testing.T, r *Result) []byte {
+	t.Helper()
+	rep := r.Report()
+	var b bytes.Buffer
+	b.WriteString(rep.String())
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestExploreDeterministicAcrossJobs is the headline guarantee: a fixed
+// seed renders byte-identically for one worker and many (run under -race
+// in CI).
+func TestExploreDeterministicAcrossJobs(t *testing.T) {
+	serial, err := Explore(context.Background(), newTestLab(t, 1), labSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Explore(context.Background(), newTestLab(t, 8), labSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderAll(t, serial), renderAll(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-jobs 1 and -jobs 8 explore output differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", a, b)
+	}
+}
+
+// TestExploreJournalAndResume kills an exploration partway (context
+// cancellation after two completed cells), resumes it from the journal
+// on a fresh Lab, and requires the journaled cells not to re-execute and
+// the final report to byte-match an uninterrupted run's.
+func TestExploreJournalAndResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "explore.ndjson")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	completed := 0
+	_, err := Explore(ctx, newTestLab(t, 2), labSpec(), Options{
+		Journal: journal,
+		Progress: func(ev sweep.Event) {
+			mu.Lock()
+			completed++
+			if completed == 2 {
+				cancel()
+			}
+			mu.Unlock()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted explore error: %v", err)
+	}
+
+	// Uninterrupted reference run (its own lab, no journal).
+	full, err := Explore(context.Background(), newTestLab(t, 2), labSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Evaluated)
+
+	l := newTestLab(t, 2)
+	resumed, err := Explore(context.Background(), l, labSpec(), Options{Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed < 2 {
+		t.Fatalf("resumed %d cells, want >= 2", resumed.Resumed)
+	}
+	if got, want := l.RunCount(), total-resumed.Resumed; got != want {
+		t.Fatalf("resume executed %d simulations, want %d (journaled cells re-ran)", got, want)
+	}
+	if !bytes.Equal(renderAll(t, resumed), renderAll(t, full)) {
+		t.Fatal("resumed explore output differs from uninterrupted run")
+	}
+
+	// A second resume restores everything and runs nothing.
+	l2 := newTestLab(t, 2)
+	again, err := Explore(context.Background(), l2, labSpec(), Options{Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != total || l2.RunCount() != 0 {
+		t.Fatalf("full resume still ran work: resumed %d/%d, runs %d", again.Resumed, total, l2.RunCount())
+	}
+	if !bytes.Equal(renderAll(t, again), renderAll(t, full)) {
+		t.Fatal("fully-resumed explore output differs from uninterrupted run")
+	}
+}
+
+// TestExploreHalvingOnLab exercises the budget ladder against the real
+// simulator and pins jobs-independence for the multi-round strategy too.
+func TestExploreHalvingOnLab(t *testing.T) {
+	spec := Spec{
+		Space:     testSpaceSpec(),
+		Strategy:  StrategyHalving,
+		Seed:      3,
+		Samples:   6,
+		Eta:       3,
+		MinBudget: 500,
+	}
+	a, err := Explore(context.Background(), newTestLab(t, 1), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(context.Background(), newTestLab(t, 8), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderAll(t, a), renderAll(t, b)) {
+		t.Fatal("halving output differs across -jobs")
+	}
+	if len(a.Survivors) == 0 {
+		t.Fatal("halving selected no survivors")
+	}
+	last := a.Rounds[len(a.Rounds)-1]
+	if last.Budget != 2000 {
+		t.Fatalf("final round budget %d, want the full 2000", last.Budget)
+	}
+}
+
+// ------------------------------------------------------------ validation
+
+func TestExploreOptionAndSpecValidation(t *testing.T) {
+	r := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) { return 1, 1 }}
+	cases := []struct {
+		name string
+		spec Spec
+		opts Options
+	}{
+		{"resume without journal", Spec{Space: fakeSpec(2000)}, Options{Resume: true}},
+		{"unknown strategy", Spec{Space: fakeSpec(2000), Strategy: "anneal"}, Options{}},
+		{"unknown sampler", Spec{Space: fakeSpec(2000), Strategy: StrategyPareto, Sampler: "sobol"}, Options{}},
+		{"halving without budget", Spec{Space: fakeSpec(0), Strategy: StrategyHalving}, Options{}},
+		{"min budget over full", Spec{Space: fakeSpec(2000), Strategy: StrategyHalving, MinBudget: 4000}, Options{}},
+		{"samples over cap", Spec{Space: fakeSpec(2000), Samples: maxSamples + 1}, Options{}},
+		{"negative samples", Spec{Space: fakeSpec(2000), Samples: -1}, Options{}},
+		{"eta of one", Spec{Space: fakeSpec(2000), Strategy: StrategyHalving, Eta: 1}, Options{}},
+		{"rounds over cap", Spec{Space: fakeSpec(2000), Strategy: StrategyPareto, Rounds: maxRounds + 1}, Options{}},
+		{"unknown workload", Spec{Space: sweep.Spec{Workloads: []string{"nosuch"}, Budget: 2000}}, Options{}},
+	}
+	for _, c := range cases {
+		if _, err := Explore(context.Background(), r, c.spec, c.opts); !errors.Is(err, lab.ErrInvalid) {
+			t.Errorf("%s: error %v, want lab.ErrInvalid", c.name, err)
+		}
+	}
+}
+
+// TestSpecNormalizeDefaults pins the resolved defaults the report
+// surfaces.
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s, err := Spec{Space: fakeSpec(2000)}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Strategy != StrategyRandom || s.Sampler != SamplerRandom {
+		t.Fatalf("defaults: strategy %q sampler %q", s.Strategy, s.Sampler)
+	}
+	if s.Samples != DefaultSamples || s.Rounds != DefaultRounds || s.Eta != DefaultEta {
+		t.Fatalf("defaults: samples %d rounds %d eta %d", s.Samples, s.Rounds, s.Eta)
+	}
+	// One-shot strategies force the matching sampler.
+	s, err = Spec{Space: fakeSpec(2000), Strategy: StrategyLHS, Sampler: SamplerRandom}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sampler != SamplerLHS {
+		t.Fatalf("lhs strategy kept sampler %q", s.Sampler)
+	}
+	// Halving's MinBudget derives from the full budget.
+	s, err = Spec{Space: fakeSpec(640_000), Strategy: StrategyHalving}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinBudget != 10_000 {
+		t.Fatalf("derived min budget %d, want 10000", s.MinBudget)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"space":{},"warmth":3}`)); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("unknown field: %v", err)
+	}
+	if _, err := ParseSpec([]byte(`{"space":{}} trailing`)); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("trailing data: %v", err)
+	}
+	if _, err := ParseSpec([]byte(`{"space":{"workloads":["mcf"]},"strategy":"pareto","seed":4}`)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}

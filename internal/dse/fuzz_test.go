@@ -1,0 +1,100 @@
+package dse
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzExploreSpecRoundtrip asserts the explore-spec invariant: any spec
+// that parses, normalizes and opens as a Space must survive marshal →
+// unmarshal → normalize with the identical resolved search (strategy,
+// sampler, seed, budgets) and the identical space — same size and, for a
+// fixed seed, the same first sampler draw resolving to the same cell
+// keys. Committed seeds live in testdata/fuzz/FuzzExploreSpecRoundtrip
+// and run as ordinary cases under plain `go test`.
+func FuzzExploreSpecRoundtrip(f *testing.F) {
+	for _, seed := range []string{
+		`{"space":{"workloads":["mcf"]},"seed":1}`,
+		`{"space":{"workloads":["all"],"budget":3000},"strategy":"random","samples":16}`,
+		`{"space":{"workloads":["mcf","libq"],"budget":2000,"axes":{"preset":["dla","r3"],"boq_size":[64,512]}},"strategy":"lhs","seed":7}`,
+		`{"space":{"workloads":["mcf"],"budget":64000,"base":{"preset":"dla"},"axes":{"boq_size":[16,64,256,1024]}},"strategy":"halving","seed":3,"samples":8,"eta":4}`,
+		`{"space":{"workloads":["spec"],"budget":5000,"base":{"preset":"r3"},"axes":{"fq_size":[16,64,256],"vq_size":[16,64]}},"strategy":"pareto","seed":11,"samples":32,"rounds":4}`,
+		`{"space":{"workloads":["mcf"],"axes":{"cores":[{"model":"default"},{"model":"wide"}]}},"strategy":"pareto","sampler":"lhs","seed":2}`,
+		`{"space":{"workloads":["crono"],"budget":100000,"base":{"preset":"dla"},"axes":{"version":[0,1,2,3,4,5]}},"strategy":"halving","seed":5,"min_budget":2000}`,
+		`{"space":{"workloads":["mcf"],"budget":2000,"axes":{"t1":[true,false],"value_reuse":[true,false]},"base":{"preset":"r3"}},"seed":9,"samples":4}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ParseSpec([]byte(data))
+		if err != nil {
+			t.Skip() // not an explore spec
+		}
+		norm, err := spec.normalize()
+		if err != nil {
+			return // invalid searches may reject; the invariant is for valid ones
+		}
+		sp, err := NewSpace(norm.Space)
+		if err != nil {
+			return // invalid spaces may reject
+		}
+
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		spec2, err := ParseSpec(wire)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %s: %v", wire, err)
+		}
+		norm2, err := spec2.normalize()
+		if err != nil {
+			t.Fatalf("round-tripped spec no longer normalizes: %s: %v", wire, err)
+		}
+		if norm.Strategy != norm2.Strategy || norm.Sampler != norm2.Sampler ||
+			norm.Seed != norm2.Seed || norm.Samples != norm2.Samples ||
+			norm.Rounds != norm2.Rounds || norm.Eta != norm2.Eta ||
+			norm.MinBudget != norm2.MinBudget {
+			t.Fatalf("round trip changed the resolved search:\n before %+v\n after  %+v", norm, norm2)
+		}
+		sp2, err := NewSpace(norm2.Space)
+		if err != nil {
+			t.Fatalf("round-tripped space no longer opens: %s: %v", wire, err)
+		}
+		if sp.Size() != sp2.Size() {
+			t.Fatalf("round trip changed the space: %d cells vs %d", sp.Size(), sp2.Size())
+		}
+
+		// The search's first batch must resolve identically: same sampler
+		// stream, same cells.
+		n := 8
+		if int64(n) > sp.Size() {
+			n = int(sp.Size())
+		}
+		s1, err := NewSampler(norm.Sampler, sp, norm.Seed)
+		if err != nil {
+			return // samplers reject what normalize didn't (nothing today)
+		}
+		s2, err := NewSampler(norm2.Sampler, sp2, norm2.Seed)
+		if err != nil {
+			t.Fatalf("round-tripped sampler rejected: %v", err)
+		}
+		d1, d2 := s1.Draw(n), s2.Draw(n)
+		if len(d1) != len(d2) {
+			t.Fatalf("round trip changed the draw: %v vs %v", d1, d2)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("round trip changed the draw: %v vs %v", d1, d2)
+			}
+			c1, err1 := sp.CellAt(d1[i], norm.Space.Budget)
+			c2, err2 := sp2.CellAt(d2[i], norm2.Space.Budget)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("drawn cell failed to materialize: %v / %v", err1, err2)
+			}
+			if c1.Key != c2.Key {
+				t.Fatalf("cell %d key changed:\n before %s\n after  %s", i, c1.Key, c2.Key)
+			}
+		}
+	})
+}

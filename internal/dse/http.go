@@ -1,7 +1,6 @@
-package sweep
+package dse
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,39 +9,32 @@ import (
 
 	"r3dla/internal/exp"
 	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
 )
 
-// Gate is the slice of the r3dlad server a sweep handler shares: request
-// admission (503 at capacity), outcome accounting for /v1/healthz, and
-// the per-request budget cap. *lab.Server implements it; a nil Gate means
-// unlimited admission and no budget cap (library/test use).
-type Gate interface {
-	Admit(w http.ResponseWriter) (release func(), ok bool)
-	Observe(ctx context.Context, err error)
-	MaxBudget() uint64
-}
-
-// StreamLine is one NDJSON line of a POST /v1/sweeps response: a "cell"
-// line per completed cell (in completion order), then exactly one
-// terminal line — "result" carrying the aggregate report, or "error".
+// StreamLine is one NDJSON line of a POST /v1/explore response: a "cell"
+// line per completed evaluation (in completion order; Done/Total are
+// relative to the current search batch), then exactly one terminal line
+// — "result" carrying the exploration report, or "error".
 type StreamLine struct {
 	Event   string         `json:"event"` // "cell", "result", "error"
 	Done    int            `json:"done,omitempty"`
 	Total   int            `json:"total,omitempty"`
-	Cell    *Cell          `json:"cell,omitempty"`
+	Cell    *sweep.Cell    `json:"cell,omitempty"`
 	Run     *lab.RunResult `json:"run,omitempty"`
 	Resumed bool           `json:"resumed,omitempty"`
 	Result  *exp.Report    `json:"result,omitempty"`
 	Error   string         `json:"error,omitempty"`
 }
 
-// NewHandler returns the POST /v1/sweeps handler over l: the body is a
-// sweep Spec (JSON), the response an NDJSON stream of completed cells
-// followed by the aggregate report. Validation failures are proper 400s
-// before the stream commits to 200. Sweeps are admitted through g exactly
-// like runs; the server journals nothing — cross-request reuse comes from
-// the Lab's singleflight result cache instead.
-func NewHandler(l *lab.Lab, g Gate) http.Handler {
+// NewHandler returns the POST /v1/explore handler over l: the body is an
+// exploration Spec (JSON), the response an NDJSON stream of completed
+// cells followed by the exploration report. Validation failures are
+// proper 400s before the stream commits to 200. Explorations are
+// admitted through g exactly like runs and sweeps; the server journals
+// nothing — cross-request reuse comes from the Lab's singleflight result
+// cache instead.
+func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
@@ -54,19 +46,24 @@ func NewHandler(l *lab.Lab, g Gate) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if g != nil {
-			if max := g.MaxBudget(); max > 0 && spec.Budget > max {
-				writeError(w, http.StatusBadRequest,
-					fmt.Errorf("%w: budget %d exceeds server cap %d", lab.ErrInvalid, spec.Budget, max))
-				return
-			}
-		}
-		// Expand up front so bad grids are 400s with field-level messages,
-		// not mid-stream errors; the cells are reused below.
-		cells, err := spec.Expand()
+		// Normalize and open the space up front so bad strategies, bad
+		// axes and oversized budgets are 400s with field-level messages,
+		// not mid-stream errors.
+		spec, err = spec.normalize()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		if _, err := NewSpace(spec.Space); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if g != nil {
+			if max := g.MaxBudget(); max > 0 && spec.Space.Budget > max {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: budget %d exceeds server cap %d", lab.ErrInvalid, spec.Space.Budget, max))
+				return
+			}
 		}
 
 		var release func()
@@ -92,8 +89,8 @@ func NewHandler(l *lab.Lab, g Gate) http.Handler {
 			}
 		}
 
-		res, err := RunCells(r.Context(), l, spec, cells, Options{
-			Progress: func(ev Event) {
+		res, err := Explore(r.Context(), l, spec, Options{
+			Progress: func(ev sweep.Event) {
 				c := ev.Cell
 				emit(StreamLine{
 					Event: "cell", Done: ev.Done, Total: ev.Total,

@@ -1,0 +1,68 @@
+package dse
+
+import (
+	"sort"
+
+	"r3dla/internal/sweep"
+)
+
+// Point is one evaluated cell projected onto the search objectives:
+// IPC to maximize, total energy in joules to minimize.
+type Point struct {
+	IPC     float64
+	EnergyJ float64
+}
+
+// Dominates reports strict Pareto dominance: p is at least as good as q
+// on both objectives and strictly better on at least one.
+func (p Point) Dominates(q Point) bool {
+	return p.IPC >= q.IPC && p.EnergyJ <= q.EnergyJ &&
+		(p.IPC > q.IPC || p.EnergyJ < q.EnergyJ)
+}
+
+// pointOf projects a cell result onto the objective plane.
+func pointOf(c sweep.CellResult) Point {
+	return Point{IPC: c.Result.IPC, EnergyJ: c.Result.EnergyJ}
+}
+
+// frontier filters cells down to the non-dominated set and orders it
+// along the front: IPC descending, then energy ascending, then cell key
+// — a pure function of the (deterministic) results, so the frontier
+// table is byte-stable. Cells whose objectives tie exactly keep one
+// representative each (equal points never dominate each other).
+func frontier(cells []sweep.CellResult) []sweep.CellResult {
+	var front []sweep.CellResult
+	for i, c := range cells {
+		p := pointOf(c)
+		dominated := false
+		for j, o := range cells {
+			if i == j {
+				continue
+			}
+			q := pointOf(o)
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+			// Exact objective ties: keep the first occurrence only.
+			if q == p && j < i {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		a, b := pointOf(front[i]), pointOf(front[j])
+		if a.IPC != b.IPC {
+			return a.IPC > b.IPC
+		}
+		if a.EnergyJ != b.EnergyJ {
+			return a.EnergyJ < b.EnergyJ
+		}
+		return front[i].Key < front[j].Key
+	})
+	return front
+}

@@ -1,0 +1,83 @@
+package dse
+
+import (
+	"testing"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// TestDominates is the dominance truth table: maximize IPC, minimize
+// energy, strict on at least one objective.
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q Point
+		want bool
+	}{
+		{"better on both", Point{2, 1}, Point{1, 2}, true},
+		{"better ipc, equal energy", Point{2, 1}, Point{1, 1}, true},
+		{"equal ipc, better energy", Point{2, 1}, Point{2, 2}, true},
+		{"identical", Point{2, 1}, Point{2, 1}, false},
+		{"worse ipc", Point{1, 1}, Point{2, 1}, false},
+		{"worse energy", Point{2, 2}, Point{2, 1}, false},
+		{"tradeoff (better ipc, worse energy)", Point{3, 5}, Point{2, 1}, false},
+		{"tradeoff (worse ipc, better energy)", Point{2, 1}, Point{3, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%s: %+v dominates %+v = %v, want %v", c.name, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// cellAt builds a synthetic CellResult on the objective plane.
+func cellAt(key string, ipc, energy float64) sweep.CellResult {
+	c := sweep.CellResult{Result: &lab.RunResult{IPC: ipc, EnergyJ: energy}}
+	c.Key = key
+	return c
+}
+
+// TestFrontier pins selection and ordering: dominated cells drop, the
+// survivors sort IPC-descending (energy, then key, breaking ties), and
+// exact objective duplicates keep only their first occurrence.
+func TestFrontier(t *testing.T) {
+	cells := []sweep.CellResult{
+		cellAt("a", 1.0, 5.0), // dominated by c and d
+		cellAt("b", 3.0, 9.0), // frontier: fastest
+		cellAt("c", 2.0, 4.0), // frontier: middle trade-off
+		cellAt("d", 1.5, 2.0), // frontier: thriftiest
+		cellAt("e", 2.0, 4.5), // dominated by c (same IPC, more energy)
+		cellAt("f", 2.0, 4.0), // exact duplicate of c: dropped (first kept)
+	}
+	front := frontier(cells)
+	want := []string{"b", "c", "d"}
+	if len(front) != len(want) {
+		t.Fatalf("frontier has %d cells %v, want %v", len(front), keysOf(front), want)
+	}
+	for i, k := range want {
+		if front[i].Key != k {
+			t.Fatalf("frontier order %v, want %v", keysOf(front), want)
+		}
+	}
+}
+
+// TestFrontierSinglePoint: one cell is its own frontier; empty input
+// yields an empty frontier.
+func TestFrontierDegenerate(t *testing.T) {
+	if f := frontier(nil); len(f) != 0 {
+		t.Fatalf("empty input produced frontier %v", keysOf(f))
+	}
+	f := frontier([]sweep.CellResult{cellAt("only", 1, 1)})
+	if len(f) != 1 || f[0].Key != "only" {
+		t.Fatalf("single cell frontier wrong: %v", keysOf(f))
+	}
+}
+
+func keysOf(cells []sweep.CellResult) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = c.Key
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"r3dla/internal/lab"
+)
+
+// Sampler names accepted by Spec.Sampler.
+const (
+	SamplerRandom = "random"
+	SamplerLHS    = "lhs"
+)
+
+// A Sampler draws batches of distinct cell indices from a Space. Draws
+// are a deterministic stream: a sampler built from the same (space,
+// seed) pair produces the same sequence of batches, which is what makes
+// a fixed-seed exploration byte-identical across -jobs counts, backends
+// and resumes — the search's random choices never depend on timing.
+// Draw returns up to n indices not returned before; fewer (possibly
+// zero) when the space is nearly exhausted.
+type Sampler interface {
+	Name() string
+	Draw(n int) []int64
+}
+
+// NewSampler builds the named sampler over sp, seeded with seed.
+func NewSampler(name string, sp *Space, seed int64) (Sampler, error) {
+	switch name {
+	case "", SamplerRandom:
+		return &randomSampler{rng: rand.New(rand.NewSource(seed)), size: sp.Size(), drawn: map[int64]bool{}}, nil
+	case SamplerLHS:
+		return &lhsSampler{rng: rand.New(rand.NewSource(seed)), space: sp, drawn: map[int64]bool{}}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown sampler %q (want random or lhs)", lab.ErrInvalid, name)
+}
+
+// randomSampler draws uniform cell indices without replacement across
+// its lifetime (rejection sampling against the drawn set — cheap while
+// the space dwarfs the draw count, still terminating when it doesn't).
+type randomSampler struct {
+	rng   *rand.Rand
+	size  int64
+	drawn map[int64]bool
+}
+
+func (s *randomSampler) Name() string { return SamplerRandom }
+
+func (s *randomSampler) Draw(n int) []int64 {
+	var out []int64
+	for len(out) < n && int64(len(s.drawn)) < s.size {
+		i := s.rng.Int63n(s.size)
+		if !s.drawn[i] {
+			s.drawn[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// lhsSampler draws Latin-hypercube blocks: each Draw(n) stratifies every
+// dimension (workload + each axis) into n strata via an independent
+// seeded permutation, so each dimension's values are hit near-uniformly
+// — sample j takes value perm_d[j]*k_d/n in dimension d, which lands
+// each of the k_d values either floor(n/k_d) or ceil(n/k_d) times. The
+// exact integer stratum→value map (no jitter) keeps the stream
+// platform-independent. Composed indices that alias cells drawn in an
+// earlier block are dropped, so the stream stays without-replacement.
+type lhsSampler struct {
+	rng   *rand.Rand
+	space *Space
+	drawn map[int64]bool
+}
+
+func (s *lhsSampler) Name() string { return SamplerLHS }
+
+func (s *lhsSampler) Draw(n int) []int64 {
+	if n < 1 {
+		return nil
+	}
+	dims := s.space.Dims()
+	perms := make([][]int, len(dims))
+	for d := range dims {
+		perms[d] = s.rng.Perm(n)
+	}
+	var out []int64
+	idx := make([]int64, len(dims))
+	for j := 0; j < n; j++ {
+		for d, k := range dims {
+			idx[d] = int64(perms[d][j]) * k / int64(n)
+		}
+		i, err := s.space.Compose(idx)
+		if err != nil {
+			continue // unreachable: strata map inside every dimension
+		}
+		if !s.drawn[i] {
+			s.drawn[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package dse
+
+import (
+	"fmt"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// Space is a lazily-indexed design space: the symbolic axes of a sweep
+// spec with cells constructed on demand from their enumeration index.
+// Describing a 10^6-point space is free; only the cells a sampler draws
+// are ever materialized. Dimension 0 is the workload, then each active
+// axis in sweep field order — the same mixed-radix layout sweep.Expand
+// walks, so a dse cell and the corresponding exhaustive-sweep cell are
+// the same simulation with the same canonical key.
+type Space struct {
+	spec sweep.Spec
+	enum *sweep.Enum
+	dims []int64
+}
+
+// NewSpace validates spec (workloads, axes, duplicate values, overflow)
+// and returns its lazy view. There is no sweep.MaxCells cap here — that
+// cap exists because Expand materializes; a Space never does.
+func NewSpace(spec sweep.Spec) (*Space, error) {
+	e, err := spec.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	dims := []int64{int64(len(e.Workloads()))}
+	for _, ax := range e.Axes() {
+		dims = append(dims, int64(ax.Len()))
+	}
+	return &Space{spec: spec, enum: e, dims: dims}, nil
+}
+
+// Size is the total number of cells in the space.
+func (s *Space) Size() int64 { return s.enum.Size() }
+
+// Budget is the space's full-fidelity evaluation budget.
+func (s *Space) Budget() uint64 { return s.spec.Budget }
+
+// Dims lists the dimension sizes: workloads first, then each active axis
+// in field order. The Latin hypercube sampler stratifies per dimension.
+func (s *Space) Dims() []int64 { return append([]int64(nil), s.dims...) }
+
+// CellAt materializes the cell at enumeration index i, keyed at budget.
+func (s *Space) CellAt(i int64, budget uint64) (sweep.Cell, error) {
+	return s.enum.CellAt(i, budget)
+}
+
+// Compose folds one value index per dimension (workload first, axes
+// after, in Dims order) into the cell's enumeration index — the inverse
+// of the decomposition CellAt performs.
+func (s *Space) Compose(idx []int64) (int64, error) {
+	if len(idx) != len(s.dims) {
+		return 0, fmt.Errorf("%w: coordinate vector has %d dims, space has %d", lab.ErrInvalid, len(idx), len(s.dims))
+	}
+	var out int64
+	for d, v := range idx {
+		if v < 0 || v >= s.dims[d] {
+			return 0, fmt.Errorf("%w: dim %d value %d outside 0..%d", lab.ErrInvalid, d, v, s.dims[d]-1)
+		}
+		out = out*s.dims[d] + v
+	}
+	return out, nil
+}
+
+// cells materializes a batch of drawn indices at one budget, collapsing
+// indices whose resolved configurations alias to the same canonical key
+// (first occurrence wins, as in sweep.Expand). Order is draw order — the
+// deterministic backbone of the whole exploration. seen carries the
+// dedup set across batches so a key never reaches the Runner twice from
+// one exploration; pass nil for an independent batch.
+func (s *Space) cells(indices []int64, budget uint64, seen map[string]bool) ([]sweep.Cell, error) {
+	if seen == nil {
+		seen = make(map[string]bool, len(indices))
+	}
+	cells := make([]sweep.Cell, 0, len(indices))
+	for _, i := range indices {
+		c, err := s.enum.CellAt(i, budget)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[c.Key] {
+			seen[c.Key] = true
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}

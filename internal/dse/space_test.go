@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"r3dla/internal/lab"
+	"r3dla/internal/sweep"
+)
+
+// testSpaceSpec is the small grid the pure dse tests share: 2 workloads x
+// 2 presets x 4 BOQ sizes x 3 FQ sizes = 48 cells, all distinct.
+func testSpaceSpec() sweep.Spec {
+	return sweep.Spec{
+		Workloads: []string{"mcf", "libq"},
+		Budget:    2000,
+		Axes: sweep.Axes{
+			Preset:  []string{"dla", "r3"},
+			BOQSize: []int{16, 64, 256, 1024},
+			FQSize:  []int{16, 64, 256},
+		},
+	}
+}
+
+func newTestSpace(t *testing.T) *Space {
+	t.Helper()
+	sp, err := NewSpace(testSpaceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestSpaceMatchesExpand pins the core lazy-enumeration contract: cell i
+// of the Space is cell i of the exhaustive sweep expansion — same key,
+// same coordinates — so a sampled exploration and a full sweep agree on
+// every cell identity.
+func TestSpaceMatchesExpand(t *testing.T) {
+	sp := newTestSpace(t)
+	cells, err := testSpaceSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != int64(len(cells)) {
+		t.Fatalf("space size %d, expand produced %d cells", sp.Size(), len(cells))
+	}
+	if sp.Size() != 48 {
+		t.Fatalf("space size %d, want 48", sp.Size())
+	}
+	for i := int64(0); i < sp.Size(); i++ {
+		c, err := sp.CellAt(i, testSpaceSpec().Budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Key != cells[i].Key {
+			t.Fatalf("cell %d key mismatch:\n space  %s\n expand %s", i, c.Key, cells[i].Key)
+		}
+		if strings.Join(c.Coords, "|") != strings.Join(cells[i].Coords, "|") {
+			t.Fatalf("cell %d coords mismatch: %v vs %v", i, c.Coords, cells[i].Coords)
+		}
+	}
+}
+
+// TestSpaceComposeRoundtrip walks every coordinate vector and asserts
+// Compose inverts CellAt's mixed-radix decomposition.
+func TestSpaceComposeRoundtrip(t *testing.T) {
+	sp := newTestSpace(t)
+	dims := sp.Dims()
+	var next int64
+	idx := make([]int64, len(dims))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(dims) {
+			i, err := sp.Compose(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i != next {
+				t.Fatalf("Compose(%v) = %d, want %d", idx, i, next)
+			}
+			next++
+			return
+		}
+		for v := int64(0); v < dims[d]; v++ {
+			idx[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	if next != sp.Size() {
+		t.Fatalf("walked %d vectors, space has %d", next, sp.Size())
+	}
+}
+
+func TestSpaceComposeRejects(t *testing.T) {
+	sp := newTestSpace(t)
+	if _, err := sp.Compose([]int64{0, 0}); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("short vector: %v", err)
+	}
+	bad := make([]int64, len(sp.Dims()))
+	bad[0] = sp.Dims()[0]
+	if _, err := sp.Compose(bad); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("out-of-range value: %v", err)
+	}
+	if _, err := sp.CellAt(sp.Size(), 2000); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("out-of-range index: %v", err)
+	}
+}
+
+// TestSpaceCellAtBudget asserts re-keying an index at another budget
+// changes only the budget suffix — halving's rising-budget ladder keys
+// the same configuration at each rung.
+func TestSpaceCellAtBudget(t *testing.T) {
+	sp := newTestSpace(t)
+	a, err := sp.CellAt(7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.CellAt(7, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(a.Key, "@2000") || !strings.HasSuffix(b.Key, "@16000") {
+		t.Fatalf("budget suffixes wrong: %q vs %q", a.Key, b.Key)
+	}
+	if strings.TrimSuffix(a.Key, "@2000") != strings.TrimSuffix(b.Key, "@16000") {
+		t.Fatalf("config identity changed with budget:\n %s\n %s", a.Key, b.Key)
+	}
+}
+
+// TestSpaceBeyondSweepCap builds a space far over sweep.MaxCells — the
+// whole point of lazy enumeration — and spot-checks indexed cells.
+func TestSpaceBeyondSweepCap(t *testing.T) {
+	spec := sweep.Spec{
+		Workloads: []string{"mcf"},
+		Budget:    2000,
+		Axes: sweep.Axes{
+			Preset:  []string{"dla", "r3"},
+			BOQSize: manyInts(64, 1),
+			FQSize:  manyInts(64, 1),
+			VQSize:  manyInts(64, 1),
+		},
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("expand accepted a grid over sweep.MaxCells")
+	} else if !strings.Contains(err.Error(), "r3dla explore") {
+		t.Fatalf("cap error does not point at explore: %v", err)
+	}
+	sp, err := NewSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2 * 64 * 64 * 64); sp.Size() != want {
+		t.Fatalf("size %d, want %d", sp.Size(), want)
+	}
+	c, err := sp.CellAt(sp.Size()-1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload != "mcf" || len(c.Coords) != 4 {
+		t.Fatalf("last cell wrong: %+v", c)
+	}
+}
+
+// manyInts returns n distinct ints starting at base*step spacing.
+func manyInts(n, step int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i + 1) * step * 8
+	}
+	return out
+}
+
+// TestCellsDedupAcrossBatches asserts the cross-batch seen set keeps a
+// canonical key from reaching the Runner twice in one exploration.
+func TestCellsDedupAcrossBatches(t *testing.T) {
+	sp := newTestSpace(t)
+	seen := make(map[string]bool)
+	a, err := sp.cells([]int64{0, 1, 2}, 2000, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.cells([]int64{2, 3, 0}, 2000, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 1 {
+		t.Fatalf("batches sized %d/%d, want 3/1", len(a), len(b))
+	}
+	if b[0].Key != mustCell(t, sp, 3).Key {
+		t.Fatalf("second batch kept %s, want index 3", b[0].Key)
+	}
+}
+
+func mustCell(t *testing.T, sp *Space, i int64) sweep.Cell {
+	t.Helper()
+	c, err := sp.CellAt(i, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -247,36 +247,16 @@ func Fig10(c *Context) *Report {
 					opt = core.R3Options()
 				}
 				r := c.RunCached(cfgName+"dla-r3fig10", pr, opt)
+				rc, rd := RunEnergy(r, p)
+				bc, bd := RunEnergy(bl, p)
 				if part == "cpu" {
-					return cpuEnergy(r, p) / cpuEnergy(bl, p)
+					return rc / bc
 				}
-				return dramEnergy(r, p) / dramEnergy(bl, p)
+				return rd / bd
 			})
 			summarizeSuites(t, cfgName, vals)
 		}
 		rep.Add(t)
 	}
 	return rep
-}
-
-// cpuEnergy totals core + shared-cache energy of a run.
-func cpuEnergy(r *core.Results, p energy.Params) float64 {
-	wall := r.MT.Cycles
-	e := energy.Core(energy.CoreActivity{
-		Metrics: r.MT, L1I: &r.MTMem.L1I.Stats, L1D: &r.MTMem.L1D.Stats,
-		L2: &r.MTMem.L2.Stats, WallCycles: wall,
-	}, p).TotalJ()
-	if r.LT != nil {
-		e += energy.Core(energy.CoreActivity{
-			Metrics: r.LT, L1I: &r.LTMem.L1I.Stats, L1D: &r.LTMem.L1D.Stats,
-			L2: &r.LTMem.L2.Stats, WallCycles: wall,
-		}, p).TotalJ()
-	}
-	e += energy.Shared(&r.Shared.L3.Stats, wall, p).TotalJ()
-	return e
-}
-
-// dramEnergy totals memory energy of a run.
-func dramEnergy(r *core.Results, p energy.Params) float64 {
-	return energy.DRAM(&r.Shared.DRAM.Stats, r.MT.Cycles, p).TotalJ()
 }

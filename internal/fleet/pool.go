@@ -197,7 +197,7 @@ func (p *Pool) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, err
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s|%s@%d", req.Workload, cfg.Key(), req.Budget)
+	key := lab.RunKey(req.Workload, cfg, req.Budget)
 	for {
 		p.mu.Lock()
 		if res, ok := p.results[key]; ok {

@@ -181,6 +181,15 @@ func (c Config) Key() string {
 	return b.String()
 }
 
+// RunKey renders the canonical identity of one simulation request:
+// workload, resolved configuration key, and budget. Equal keys mean
+// identical simulation semantics — the Lab's result cache, the fleet
+// pool's client-side cache, and the sweep/dse checkpoint journals all
+// match on this one string.
+func RunKey(workload string, cfg Config, budget uint64) string {
+	return fmt.Sprintf("%s|%s@%d", workload, cfg.Key(), budget)
+}
+
 // ------------------------------------------------------- feature options
 
 // WithT1 toggles the T1 strided-prefetch offload FSM ("reduce").

@@ -9,6 +9,7 @@ import (
 
 	"r3dla/internal/core"
 	"r3dla/internal/emu"
+	"r3dla/internal/energy"
 	"r3dla/internal/exp"
 	"r3dla/internal/isa"
 	"r3dla/internal/pipeline"
@@ -205,6 +206,14 @@ type RunResult struct {
 	L1DMPKI     float64 `json:"l1d_mpki"`
 	DRAMTraffic uint64  `json:"dram_traffic"`
 
+	// EnergyJ and PowerW are the run's total energy (both cores, shared
+	// L3, DRAM — energy.Core/Shared/DRAM under the default calibration)
+	// and average power over the MT's wall time. Deterministic like every
+	// other field, so energy is a first-class search objective: the dse
+	// Pareto searcher trades it against IPC.
+	EnergyJ float64 `json:"energy_j"`
+	PowerW  float64 `json:"power_w"`
+
 	LT *LTStats `json:"lt,omitempty"`
 
 	Deadlocked bool `json:"deadlocked,omitempty"`
@@ -225,6 +234,12 @@ func newRunResult(workload string, cfg Config, budget uint64, r *core.Results) *
 		L1DMPKI:     r.MTMem.L1D.Stats.MPKI(r.MT.Committed),
 		DRAMTraffic: r.Shared.DRAM.Traffic(),
 		Deadlocked:  r.MT.Deadlocked,
+	}
+	p := energy.DefaultParams()
+	cpuJ, dramJ := exp.RunEnergy(r, p)
+	out.EnergyJ = cpuJ + dramJ
+	if secs := float64(r.MT.Cycles) / (p.ClockGHz * 1e9); secs > 0 {
+		out.PowerW = out.EnergyJ / secs
 	}
 	if r.LT != nil {
 		out.LT = &LTStats{IPC: r.LT.IPC(), Committed: r.LT.Committed, Skipped: r.LTSkipped}

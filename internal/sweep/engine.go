@@ -75,12 +75,17 @@ func Run(ctx context.Context, r Runner, spec Spec, opts Options) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	return runCells(ctx, r, spec, cells, opts)
+	return RunCells(ctx, r, spec, cells, opts)
 }
 
-// runCells is Run on an already-expanded matrix (the HTTP handler
-// expands once for up-front validation and reuses the cells here).
-func runCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Options) (*Result, error) {
+// RunCells is Run on an already-constructed cell list: the HTTP handler
+// expands once for up-front validation and reuses the cells here, and
+// the dse searchers feed sampled batches from a lazily-enumerated space
+// through it — journal checkpointing, resume restoration, progress
+// ordering and the deterministic Result layout all apply identically.
+// spec supplies the per-cell budget and is carried into the Result;
+// cells need not come from spec.Expand().
+func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Options) (*Result, error) {
 	var err error
 	if opts.Resume && opts.Journal == "" {
 		return nil, fmt.Errorf("%w: resume requires a journal path", lab.ErrInvalid)

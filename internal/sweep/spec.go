@@ -71,38 +71,52 @@ type Axes struct {
 	Cores []lab.CoreSpec `json:"cores,omitempty"`
 }
 
-// axis is one active grid dimension: a name for table columns and error
+// Axis is one active grid dimension: a name for table columns and error
 // messages, the rendered value labels, and a setter applying value i to a
-// cell's ConfigSpec.
-type axis struct {
+// cell's ConfigSpec. Axes are how the grid is described symbolically —
+// the dse explorer walks them to index cells without ever materializing
+// the cartesian product.
+type Axis struct {
 	name   string
 	labels []string
 	apply  func(s *lab.ConfigSpec, i int)
 }
 
-func boolAxis(name string, vals []bool, set func(s *lab.ConfigSpec, v *bool)) axis {
+// Name is the axis's column name ("preset", "boq_size", …).
+func (a Axis) Name() string { return a.name }
+
+// Len is the number of values on the axis.
+func (a Axis) Len() int { return len(a.labels) }
+
+// Label renders value i for tables and error messages.
+func (a Axis) Label(i int) string { return a.labels[i] }
+
+// Apply sets value i on a cell's ConfigSpec.
+func (a Axis) Apply(s *lab.ConfigSpec, i int) { a.apply(s, i) }
+
+func boolAxis(name string, vals []bool, set func(s *lab.ConfigSpec, v *bool)) Axis {
 	labels := make([]string, len(vals))
 	for i, v := range vals {
 		labels[i] = strconv.FormatBool(v)
 	}
-	return axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
+	return Axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
 }
 
-func intAxis(name string, vals []int, set func(s *lab.ConfigSpec, v *int)) axis {
+func intAxis(name string, vals []int, set func(s *lab.ConfigSpec, v *int)) Axis {
 	labels := make([]string, len(vals))
 	for i, v := range vals {
 		labels[i] = strconv.Itoa(v)
 	}
-	return axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
+	return Axis{name, labels, func(s *lab.ConfigSpec, i int) { v := vals[i]; set(s, &v) }}
 }
 
-// active returns the spec's active axes in fixed field order.
-func (a Axes) active() []axis {
-	var out []axis
+// Active returns the spec's active axes in fixed field order.
+func (a Axes) Active() []Axis {
+	var out []Axis
 	if len(a.Preset) > 0 {
-		out = append(out, axis{"preset", a.Preset, func(s *lab.ConfigSpec, i int) { s.Preset = a.Preset[i] }})
+		out = append(out, Axis{"preset", a.Preset, func(s *lab.ConfigSpec, i int) { s.Preset = a.Preset[i] }})
 	}
-	add := func(ax axis) { out = append(out, ax) }
+	add := func(ax Axis) { out = append(out, ax) }
 	if len(a.T1) > 0 {
 		add(boolAxis("t1", a.T1, func(s *lab.ConfigSpec, v *bool) { s.T1 = v }))
 	}
@@ -141,7 +155,7 @@ func (a Axes) active() []axis {
 		for i, c := range a.Cores {
 			labels[i] = c.Key()
 		}
-		add(axis{"cores", labels, func(s *lab.ConfigSpec, i int) { c := a.Cores[i]; s.Cores = &c }})
+		add(Axis{"cores", labels, func(s *lab.ConfigSpec, i int) { c := a.Cores[i]; s.Cores = &c }})
 	}
 	return out
 }
@@ -150,7 +164,7 @@ func (a Axes) active() []axis {
 // columns of the long-form table).
 func (s Spec) AxisNames() []string {
 	var out []string
-	for _, ax := range s.Axes.active() {
+	for _, ax := range s.Axes.Active() {
 		out = append(out, ax.name)
 	}
 	return out
@@ -225,20 +239,35 @@ func resolveWorkloads(entries []string) ([]string, error) {
 	return out, nil
 }
 
-// Expand validates the spec and materializes its deduplicated run matrix
-// in deterministic order: workloads outermost, then each active axis in
-// field order. Cells whose resolved configurations coincide (axis values
-// that alias after preset resolution) collapse to the first occurrence.
-// Any invalid cell fails the whole expansion with the cell's coordinates
-// in the error.
-func (s Spec) Expand() ([]Cell, error) {
+// MaxSpace caps how many cells a lazily-enumerated space may describe:
+// large enough that no realistic axis set hits it, small enough that
+// size arithmetic can never overflow int64.
+const MaxSpace = int64(1) << 40
+
+// Enum is the lazy view of a spec's grid: workloads resolved, axes
+// activated, total size computed — but no cell materialized. Cells are
+// constructed on demand by enumeration index, so a 10^6-point space
+// costs nothing to describe; the dse samplers and searchers draw from
+// exactly this. Enumeration order matches Expand: workloads outermost,
+// then each active axis in field order, last axis fastest.
+type Enum struct {
+	spec Spec
+	wls  []string
+	axes []Axis
+	size int64
+}
+
+// Enumerate validates the spec's workloads and axes and returns the lazy
+// grid view. Unlike Expand it enforces no MaxCells cap — only the
+// arithmetic-overflow guard MaxSpace.
+func (s Spec) Enumerate() (*Enum, error) {
 	wls, err := resolveWorkloads(s.Workloads)
 	if err != nil {
 		return nil, err
 	}
-	axes := s.Axes.active()
+	axes := s.Axes.Active()
 	for _, ax := range axes {
-		vals := make(map[string]bool, len(ax.labels))
+		vals := make(map[string]bool, ax.Len())
 		for _, l := range ax.labels {
 			if vals[l] {
 				return nil, fmt.Errorf("%w: axes.%s: duplicate value %s", lab.ErrInvalid, ax.name, l)
@@ -246,66 +275,98 @@ func (s Spec) Expand() ([]Cell, error) {
 			vals[l] = true
 		}
 	}
-	total := len(wls)
+	size := int64(len(wls))
 	for _, ax := range axes {
-		total *= len(ax.labels)
-		if total > MaxCells {
-			return nil, fmt.Errorf("%w: grid exceeds %d cells (split the sweep)", lab.ErrInvalid, MaxCells)
+		if size > MaxSpace/int64(ax.Len()) {
+			return nil, fmt.Errorf("%w: space exceeds %d cells", lab.ErrInvalid, MaxSpace)
 		}
+		size *= int64(ax.Len())
 	}
+	return &Enum{spec: s, wls: wls, axes: axes, size: size}, nil
+}
 
-	// idx walks the mixed-radix coordinate vector over the axes.
-	idx := make([]int, len(axes))
-	seen := make(map[string]bool, total)
+// Size is the total cell count of the space (before any dedup of
+// aliasing configurations).
+func (e *Enum) Size() int64 { return e.size }
+
+// Workloads lists the resolved workload names in enumeration order.
+func (e *Enum) Workloads() []string { return e.wls }
+
+// Axes lists the active axes in enumeration order.
+func (e *Enum) Axes() []Axis { return e.axes }
+
+// CellAt constructs the cell at enumeration index i, keyed at the given
+// budget (the successive-halving searcher re-evaluates the same indices
+// at rising budgets, so the budget is a parameter rather than read from
+// the spec). Cell.Index is the enumeration index; unlike Expand, no
+// cross-cell dedup happens here — aliasing indices yield equal Keys, and
+// callers collapse on those.
+func (e *Enum) CellAt(i int64, budget uint64) (Cell, error) {
+	if i < 0 || i >= e.size {
+		return Cell{}, fmt.Errorf("%w: cell index %d outside space of %d", lab.ErrInvalid, i, e.size)
+	}
+	idx := make([]int, len(e.axes))
+	rem := i
+	for d := len(e.axes) - 1; d >= 0; d-- {
+		n := int64(e.axes[d].Len())
+		idx[d] = int(rem % n)
+		rem /= n
+	}
+	wl := e.wls[rem]
+	spec := e.spec.Base
+	coords := make([]string, len(e.axes))
+	for d, ax := range e.axes {
+		ax.apply(&spec, idx[d])
+		coords[d] = ax.labels[idx[d]]
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return Cell{}, fmt.Errorf("cell %s: %w", cellName(wl, e.axes, idx), err)
+	}
+	return Cell{
+		Index:    int(i),
+		Workload: wl,
+		Config:   spec,
+		Coords:   coords,
+		Key:      lab.RunKey(wl, cfg, budget),
+	}, nil
+}
+
+// Cell is CellAt at the spec's own budget.
+func (e *Enum) Cell(i int64) (Cell, error) { return e.CellAt(i, e.spec.Budget) }
+
+// Expand validates the spec and materializes its deduplicated run matrix
+// in deterministic order: workloads outermost, then each active axis in
+// field order. Cells whose resolved configurations coincide (axis values
+// that alias after preset resolution) collapse to the first occurrence.
+// Any invalid cell fails the whole expansion with the cell's coordinates
+// in the error.
+func (s Spec) Expand() ([]Cell, error) {
+	e, err := s.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if e.size > MaxCells {
+		return nil, fmt.Errorf("%w: grid exceeds %d cells (search it with `r3dla explore`, or split the sweep)", lab.ErrInvalid, MaxCells)
+	}
+	seen := make(map[string]bool, e.size)
 	var cells []Cell
-	for _, wl := range wls {
-		for i := range idx {
-			idx[i] = 0
+	for i := int64(0); i < e.size; i++ {
+		c, err := e.CellAt(i, s.Budget)
+		if err != nil {
+			return nil, err
 		}
-		for {
-			spec := s.Base
-			coords := make([]string, len(axes))
-			for i, ax := range axes {
-				ax.apply(&spec, idx[i])
-				coords[i] = ax.labels[idx[i]]
-			}
-			cfg, err := spec.Config()
-			if err != nil {
-				return nil, fmt.Errorf("cell %s: %w", cellName(wl, axes, idx), err)
-			}
-			key := fmt.Sprintf("%s|%s@%d", wl, cfg.Key(), s.Budget)
-			if !seen[key] {
-				seen[key] = true
-				cells = append(cells, Cell{
-					Index:    len(cells),
-					Workload: wl,
-					Config:   spec,
-					Coords:   coords,
-					Key:      key,
-				})
-			}
-			if !inc(idx, axes) {
-				break
-			}
+		if !seen[c.Key] {
+			seen[c.Key] = true
+			c.Index = len(cells)
+			cells = append(cells, c)
 		}
 	}
 	return cells, nil
 }
 
-// inc advances the mixed-radix coordinate vector; false means wrapped.
-func inc(idx []int, axes []axis) bool {
-	for i := len(idx) - 1; i >= 0; i-- {
-		idx[i]++
-		if idx[i] < len(axes[i].labels) {
-			return true
-		}
-		idx[i] = 0
-	}
-	return false
-}
-
 // cellName renders a cell's coordinates for error messages.
-func cellName(wl string, axes []axis, idx []int) string {
+func cellName(wl string, axes []Axis, idx []int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workload=%s", wl)
 	for i, ax := range axes {
