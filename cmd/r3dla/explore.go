@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"r3dla/internal/dse"
+	"r3dla/internal/fleet"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
@@ -58,12 +59,11 @@ func runExplore(args []string) {
 	)
 	fs.Parse(args)
 
-	budgetSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "budget" {
-			budgetSet = true
-		}
-	})
+	// Presence, not value, decides precedence: an explicit -samples 0 must
+	// override a spec file's non-zero samples, which a value test alone
+	// cannot see (zero is also every knob's "use the default" sentinel).
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	var spec dse.Spec
 	if *specPath != "" {
@@ -73,11 +73,6 @@ func runExplore(args []string) {
 		}
 		if spec, err = dse.ParseSpec(data); err != nil {
 			fatalf("%v", err)
-		}
-		// Precedence, as in sweep: an explicit flag beats the spec file's
-		// value, which beats the default.
-		if budgetSet || spec.Space.Budget == 0 {
-			spec.Space.Budget = *budget
 		}
 	} else {
 		spec.Space = sweep.Spec{
@@ -97,31 +92,16 @@ func runExplore(args []string) {
 			},
 		}
 	}
-	// Search flags override the spec file where set (zero means "spec's
-	// value, else the package default").
-	setFlags := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if setFlags["strategy"] || spec.Strategy == "" {
-		spec.Strategy = *strategy
-	}
-	if setFlags["sampler"] || spec.Sampler == "" {
-		spec.Sampler = *sampler
-	}
-	if setFlags["seed"] || spec.Seed == 0 {
-		spec.Seed = *seed
-	}
-	if setFlags["samples"] || spec.Samples == 0 {
-		spec.Samples = *samples
-	}
-	if setFlags["rounds"] || spec.Rounds == 0 {
-		spec.Rounds = *rounds
-	}
-	if setFlags["eta"] || spec.Eta == 0 {
-		spec.Eta = *eta
-	}
-	if setFlags["min-budget"] || spec.MinBudget == 0 {
-		spec.MinBudget = *minBudget
-	}
+	mergeSearchFlags(&spec, searchFlags{
+		budget:    *budget,
+		strategy:  *strategy,
+		sampler:   *sampler,
+		seed:      *seed,
+		samples:   *samples,
+		rounds:    *rounds,
+		eta:       *eta,
+		minBudget: *minBudget,
+	}, setFlags)
 	if *resume && *journal == "" {
 		fatalf("-resume requires -journal")
 	}
@@ -142,7 +122,9 @@ func runExplore(args []string) {
 	// checkpoints, resumes and byte-matches a local one.
 	var runner sweep.Runner
 	if *backends != "" {
-		remotes, err := parseBackends(*backends)
+		// Exploration cells are bulk traffic: batch priority keeps them
+		// from starving interactive runs sharing the same fleet.
+		remotes, err := parseBackends(*backends, fleet.WithPriority(lab.PriorityBatch))
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -199,5 +181,52 @@ func runExplore(args []string) {
 		if err := writeFile(filepath.Join(*outDir, "explore.csv"), rep.WriteCSV); err != nil {
 			fatalf("%v", err)
 		}
+	}
+}
+
+// searchFlags carries the explore search knobs as parsed from the
+// command line; merge precedence against a spec file lives in
+// mergeSearchFlags so it is testable without a FlagSet.
+type searchFlags struct {
+	budget    uint64
+	strategy  string
+	sampler   string
+	seed      int64
+	samples   int
+	rounds    int
+	eta       int
+	minBudget uint64
+}
+
+// mergeSearchFlags resolves the three-way precedence between an explicit
+// command-line flag, a spec-file value, and the package default: a flag
+// whose name is in set always wins — including an explicit zero, which
+// is how a spec file's value is forced back to the package default —
+// otherwise a non-zero (non-empty) spec value stands, and only then does
+// the flag's default fill in.
+func mergeSearchFlags(spec *dse.Spec, f searchFlags, set map[string]bool) {
+	if set["budget"] || spec.Space.Budget == 0 {
+		spec.Space.Budget = f.budget
+	}
+	if set["strategy"] || spec.Strategy == "" {
+		spec.Strategy = f.strategy
+	}
+	if set["sampler"] || spec.Sampler == "" {
+		spec.Sampler = f.sampler
+	}
+	if set["seed"] || spec.Seed == 0 {
+		spec.Seed = f.seed
+	}
+	if set["samples"] || spec.Samples == 0 {
+		spec.Samples = f.samples
+	}
+	if set["rounds"] || spec.Rounds == 0 {
+		spec.Rounds = f.rounds
+	}
+	if set["eta"] || spec.Eta == 0 {
+		spec.Eta = f.eta
+	}
+	if set["min-budget"] || spec.MinBudget == 0 {
+		spec.MinBudget = f.minBudget
 	}
 }

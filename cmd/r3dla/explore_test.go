@@ -1,0 +1,114 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"r3dla/internal/dse"
+	"r3dla/internal/sweep"
+)
+
+// TestMergeSearchFlags pins the flag/spec precedence contract, in
+// particular the zero-value corner: a flag explicitly set to zero must
+// override a spec file's non-zero value (zero doubles as every knob's
+// "use the package default" sentinel, so presence — not value — decides).
+func TestMergeSearchFlags(t *testing.T) {
+	defaults := searchFlags{
+		budget:   150_000,
+		strategy: dse.StrategyPareto,
+		seed:     1,
+	}
+	specFile := func() dse.Spec {
+		return dse.Spec{
+			Space:     sweep.Spec{Budget: 40_000},
+			Strategy:  "halving",
+			Sampler:   "lhs",
+			Seed:      7,
+			Samples:   24,
+			Rounds:    3,
+			Eta:       4,
+			MinBudget: 5_000,
+		}
+	}
+
+	tests := []struct {
+		name  string
+		spec  dse.Spec
+		flags searchFlags
+		set   map[string]bool
+		want  dse.Spec
+	}{
+		{
+			name:  "no flags set, full spec file stands untouched",
+			spec:  specFile(),
+			flags: defaults,
+			set:   map[string]bool{},
+			want:  specFile(),
+		},
+		{
+			name:  "no flags set, empty spec filled from flag defaults",
+			spec:  dse.Spec{},
+			flags: defaults,
+			set:   map[string]bool{},
+			want: dse.Spec{
+				Space:    sweep.Spec{Budget: 150_000},
+				Strategy: dse.StrategyPareto,
+				Seed:     1,
+			},
+		},
+		{
+			name: "explicit non-zero flags beat the spec file",
+			spec: specFile(),
+			flags: searchFlags{
+				budget: 90_000, strategy: "random", sampler: "random",
+				seed: 2, samples: 8, rounds: 1, eta: 2, minBudget: 1_000,
+			},
+			set: map[string]bool{
+				"budget": true, "strategy": true, "sampler": true, "seed": true,
+				"samples": true, "rounds": true, "eta": true, "min-budget": true,
+			},
+			want: dse.Spec{
+				Space:     sweep.Spec{Budget: 90_000},
+				Strategy:  "random",
+				Sampler:   "random",
+				Seed:      2,
+				Samples:   8,
+				Rounds:    1,
+				Eta:       2,
+				MinBudget: 1_000,
+			},
+		},
+		{
+			name:  "explicit zero overrides a non-zero spec value",
+			spec:  specFile(),
+			flags: searchFlags{budget: defaults.budget, strategy: defaults.strategy, seed: defaults.seed},
+			set:   map[string]bool{"samples": true, "rounds": true, "eta": true, "min-budget": true},
+			want: dse.Spec{
+				Space:     sweep.Spec{Budget: 40_000},
+				Strategy:  "halving",
+				Sampler:   "lhs",
+				Seed:      7,
+				Samples:   0, // forced back to the package default
+				Rounds:    0,
+				Eta:       0,
+				MinBudget: 0,
+			},
+		},
+		{
+			name:  "unset flags never clobber spec values with flag defaults",
+			spec:  specFile(),
+			flags: searchFlags{budget: defaults.budget, strategy: defaults.strategy, seed: defaults.seed},
+			set:   map[string]bool{},
+			want:  specFile(),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.spec
+			mergeSearchFlags(&got, tt.flags, tt.set)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("merged spec mismatch:\n got %+v\nwant %+v", got, tt.want)
+			}
+		})
+	}
+}

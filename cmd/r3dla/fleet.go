@@ -9,15 +9,17 @@ import (
 )
 
 // parseBackends turns the -backends flag value (comma-separated host:port
-// addresses or URLs of r3dlad instances) into remote backends.
-func parseBackends(s string) ([]*fleet.Remote, error) {
+// addresses or URLs of r3dlad instances) into remote backends; opts apply
+// to every backend (sweep and explore stamp their bulk traffic batch
+// priority here, so interactive runs cut ahead under load).
+func parseBackends(s string, opts ...fleet.RemoteOption) ([]*fleet.Remote, error) {
 	addrs := splitList(s)
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("-backends: no addresses")
 	}
 	remotes := make([]*fleet.Remote, 0, len(addrs))
 	for _, a := range addrs {
-		r, err := fleet.NewRemote(a)
+		r, err := fleet.NewRemote(a, opts...)
 		if err != nil {
 			return nil, err
 		}

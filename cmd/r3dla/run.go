@@ -10,6 +10,7 @@ import (
 	"os/signal"
 	"time"
 
+	"r3dla/internal/fleet"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
@@ -29,6 +30,7 @@ func runRun(args []string) {
 		jobs       = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
 		backends   = fs.String("backends", "", "comma-separated r3dlad addresses; empty = run locally")
 		hedge      = fs.Duration("hedge", 0, "duplicate straggler requests onto a second backend after this delay (0 = off)")
+		priority   = fs.String("priority", "", "fleet admission class: interactive or batch (empty = server default)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
@@ -59,7 +61,17 @@ func runRun(args []string) {
 
 	var runner sweep.Runner
 	if *backends != "" {
-		remotes, err := parseBackends(*backends)
+		var ropts []fleet.RemoteOption
+		switch *priority {
+		case "", lab.PriorityInteractive, lab.PriorityBatch:
+			if *priority != "" {
+				ropts = append(ropts, fleet.WithPriority(*priority))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "r3dla run: -priority must be %q or %q\n", lab.PriorityInteractive, lab.PriorityBatch)
+			os.Exit(2)
+		}
+		remotes, err := parseBackends(*backends, ropts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "r3dla run: %v\n", err)
 			os.Exit(2)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"r3dla/internal/fleet"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
@@ -108,7 +109,9 @@ func runSweep(args []string) {
 	// because skeleton preparation runs at the server's training budget.
 	var runner sweep.Runner
 	if *backends != "" {
-		remotes, err := parseBackends(*backends)
+		// Sweep cells are bulk traffic: batch priority keeps them from
+		// starving interactive runs sharing the same fleet.
+		remotes, err := parseBackends(*backends, fleet.WithPriority(lab.PriorityBatch))
 		if err != nil {
 			fatalf("%v", err)
 		}

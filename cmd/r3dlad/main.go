@@ -13,12 +13,20 @@
 //
 //	GET  /v1/healthz              liveness + request counters
 //	GET  /v1/stats                live load: inflight/capacity, budget caps, cache-miss runs
+//	GET  /metrics                 the same counters in Prometheus text exposition format
 //	GET  /v1/experiments          regenerable paper artifacts
 //	GET  /v1/workloads            the evaluation suite
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1: NDJSON progress)
 //	POST /v1/runs                 one simulation (RunRequest JSON body)
 //	POST /v1/sweeps               parameter sweep (sweep.Spec JSON body; NDJSON cell stream)
 //	POST /v1/explore              adaptive exploration (dse.Spec JSON body; NDJSON cell stream)
+//
+// With -result-cache the server persists every finished run result in a
+// content-addressed on-disk store: an identical request after a restart
+// is served byte-for-byte from disk without simulating, and concurrent
+// identical requests from different clients coalesce onto one
+// simulation. -inflight capacity is split fairly between priority
+// classes (the X-R3DLA-Priority header: interactive or batch).
 //
 // A disconnecting client cancels its in-flight simulation cooperatively
 // (accounted as a 499 in /v1/healthz counters); SIGINT/SIGTERM drain the
@@ -42,6 +50,7 @@ import (
 
 	"r3dla/internal/dse"
 	"r3dla/internal/lab"
+	"r3dla/internal/resultstore"
 	"r3dla/internal/sweep"
 )
 
@@ -53,6 +62,8 @@ func main() {
 		maxBudget = flag.Uint64("max-budget", 10_000_000, "largest per-request budget override (0 = unlimited)")
 		inflight  = flag.Int("inflight", 64, "max concurrently admitted simulation requests (0 = unlimited)")
 		prepDir   = flag.String("prep-cache", "", "directory persisting preparation artifacts across restarts (empty = off)")
+		resDir    = flag.String("result-cache", "", "directory persisting finished run results across restarts (empty = off)")
+		resMax    = flag.Int("result-cache-max", 4096, "max entries the result cache retains before LRU eviction (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -65,7 +76,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "r3dlad: %v\n", err)
 		os.Exit(1)
 	}
-	h := lab.NewServer(l, lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight))
+	srvOpts := []lab.ServerOption{lab.WithMaxBudget(*maxBudget), lab.WithMaxInflight(*inflight)}
+	if *resDir != "" {
+		st, err := resultstore.Open(*resDir, lab.ResultsFingerprint, *resMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "r3dlad: %v\n", err)
+			os.Exit(1)
+		}
+		srvOpts = append(srvOpts, lab.WithResultStore(st))
+	}
+	h := lab.NewServer(l, srvOpts...)
 	h.Handle("POST /v1/sweeps", sweep.NewHandler(l, h))
 	h.Handle("POST /v1/explore", dse.NewHandler(l, h))
 	srv := &http.Server{

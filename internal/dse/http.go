@@ -69,7 +69,7 @@ func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
 		var release func()
 		if g != nil {
 			var ok bool
-			if release, ok = g.Admit(w); !ok {
+			if release, ok = g.Admit(w, r); !ok {
 				return
 			}
 			defer release()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -226,7 +227,7 @@ func (p *Pool) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, err
 		p.calls[key] = fl
 		p.mu.Unlock()
 
-		res, err := dispatch(ctx, p, func(ctx context.Context, m *member) (*lab.RunResult, error) {
+		res, err := dispatch(ctx, p, key, func(ctx context.Context, m *member) (*lab.RunResult, error) {
 			return m.b.Run(ctx, req)
 		})
 		p.mu.Lock()
@@ -244,7 +245,7 @@ func (p *Pool) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, err
 // Experiment regenerates one artifact somewhere in the fleet (at the
 // serving backend's budget — the CLI verifies the fleet is homogeneous).
 func (p *Pool) Experiment(ctx context.Context, id string) (*lab.Report, error) {
-	return dispatch(ctx, p, func(ctx context.Context, m *member) (*lab.Report, error) {
+	return dispatch(ctx, p, "", func(ctx context.Context, m *member) (*lab.Report, error) {
 		return m.b.Experiment(ctx, id)
 	})
 }
@@ -290,11 +291,12 @@ const (
 	overloadWaitMax = time.Second
 )
 
-// dispatch runs call against the fleet: least-loaded member first,
-// bounded retries on different members for hard faults, backpressure
-// waits for overload, the first attempt optionally hedged. Non-retryable
-// errors (validation, the caller's cancellation) surface immediately.
-func dispatch[T any](ctx context.Context, p *Pool, call func(context.Context, *member) (T, error)) (T, error) {
+// dispatch runs call against the fleet: the key's cache-affinity member
+// first when key is non-empty (least-loaded otherwise), bounded retries
+// on different members for hard faults, backpressure waits for overload,
+// the first attempt optionally hedged. Non-retryable errors (validation,
+// the caller's cancellation) surface immediately.
+func dispatch[T any](ctx context.Context, p *Pool, key string, call func(context.Context, *member) (T, error)) (T, error) {
 	var zero T
 	if p.jobs != nil {
 		select {
@@ -322,7 +324,7 @@ func dispatch[T any](ctx context.Context, p *Pool, call func(context.Context, *m
 				avoid[m] = true
 			}
 		}
-		m := p.pick(avoid)
+		m := p.pickKeyed(key, avoid)
 		if m == nil {
 			if len(shedding) == 0 || rounds >= overloadRounds {
 				break
@@ -458,6 +460,50 @@ func hedged[T any](ctx context.Context, p *Pool, m *member, avoid map[*member]bo
 	}
 }
 
+// pickKeyed selects the member to serve one keyed request: the key's
+// rendezvous-hash owner when that member is no busier than the
+// least-loaded candidate, the least-loaded member otherwise. Every
+// client hashing the same workload|configKey@budget key picks the same
+// owner, so fleet members (r3dlad instances with result stores) become a
+// coherent caching tier — repeated requests land where the answer
+// already is — while a busy owner still overflows to idle members rather
+// than queueing behind itself. An empty key (experiments) is pure
+// least-loaded.
+func (p *Pool) pickKeyed(key string, excluded map[*member]bool) *member {
+	best := p.pick(excluded)
+	if best == nil || key == "" {
+		return best
+	}
+	var aff *member
+	var affScore uint64
+	for _, m := range p.members {
+		if excluded[m] || !m.healthy.Load() {
+			continue
+		}
+		if score := rendezvousScore(key, m.b.Name()); aff == nil || score > affScore {
+			aff, affScore = m, score
+		}
+	}
+	if aff != nil && aff.inflight.Load() <= best.inflight.Load() {
+		return aff
+	}
+	return best
+}
+
+// rendezvousScore is the highest-random-weight hash of (member, key):
+// each member scores every key independently, so removing a member only
+// remaps the keys it owned. The key is hashed before the name: FNV-1a
+// mixes trailing differences far better than leading ones, and member
+// names often differ only in their final characters (b0/b1, :8123/:8124)
+// — name-first scoring would hand whole key ranges to one member.
+func rendezvousScore(key, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
 // pick selects the least-loaded eligible member: healthy and not
 // excluded, ordered by this pool's inflight count, then the
 // server-reported load from the last stats probe, then construction
@@ -512,6 +558,9 @@ func (p *Pool) Check(ctx context.Context) error {
 // it with backoff until it answers again.
 func (p *Pool) markDown(m *member, err error) {
 	if m.healthy.CompareAndSwap(true, false) {
+		// The last probed load is dead data now; a revived member starts
+		// from a clean slate instead of biasing routing with its past.
+		m.load.Store(0)
 		m.mu.Lock()
 		m.backoff = p.probeEvery
 		m.nextProbe = time.Now().Add(m.backoff)
@@ -552,6 +601,11 @@ func (p *Pool) probeAll() {
 				ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
 				if st, err := lr.Stats(ctx); err == nil {
 					m.load.Store(st.Inflight)
+				} else {
+					// A failing stats endpoint means the last value is
+					// stale; forget it rather than keep routing on dead
+					// data (the member itself may still serve fine).
+					m.load.Store(0)
 				}
 				cancel()
 			}

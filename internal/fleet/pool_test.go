@@ -54,6 +54,30 @@ func testReq(budget uint64) lab.RunRequest {
 	return lab.RunRequest{Workload: "mcf", Config: lab.ConfigSpec{Preset: "dla"}, Budget: budget}
 }
 
+// runKeyFor derives the canonical routing key for a request, the same way
+// the pool does before picking a member.
+func runKeyFor(t *testing.T, req lab.RunRequest) string {
+	t.Helper()
+	cfg, err := req.Config.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab.RunKey(req.Workload, cfg, req.Budget)
+}
+
+// ownerIndex returns which of names wins the rendezvous hash for key —
+// on an idle fleet that member serves the request, so tests that inject
+// faults must inject them into the owner, not a fixed slot.
+func ownerIndex(key string, names []string) int {
+	best, bestScore := -1, uint64(0)
+	for i, n := range names {
+		if s := rendezvousScore(key, n); best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
 func newTestPool(t *testing.T, backends []Backend, opts ...PoolOption) *Pool {
 	t.Helper()
 	p, err := NewPool(backends, opts...)
@@ -64,20 +88,32 @@ func newTestPool(t *testing.T, backends []Backend, opts ...PoolOption) *Pool {
 	return p
 }
 
-// TestPoolLeastLoaded pins the routing rule: with the first member busy,
-// the next request goes to the idle one.
+// TestPoolLeastLoaded pins the routing rule: with one member busy, the
+// next request goes to the idle one — even when the busy member is the
+// second key's cache-affinity owner.
 func TestPoolLeastLoaded(t *testing.T) {
+	names := []string{"b0", "b1"}
+	busy := ownerIndex(runKeyFor(t, testReq(100)), names)
+	idle := 1 - busy
+
 	release := make(chan struct{})
-	b0 := &fakeBackend{name: "b0", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
-		select {
-		case <-release:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	backends := make([]Backend, 2)
+	for i, n := range names {
+		run := okRun(n)
+		if i == busy {
+			inner := run
+			run = func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return inner(ctx, req)
+			}
 		}
-		return okRun("b0")(ctx, req)
-	}}
-	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
-	p := newTestPool(t, []Backend{b0, b1})
+		backends[i] = &fakeBackend{name: n, run: run}
+	}
+	p := newTestPool(t, backends)
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -87,13 +123,13 @@ func TestPoolLeastLoaded(t *testing.T) {
 			t.Errorf("blocked run: %v", err)
 		}
 	}()
-	// Wait until the first request occupies b0, then dispatch another.
+	// Wait until the first request occupies its owner, then dispatch another.
 	for i := 0; ; i++ {
-		if p.Status()[0].Inflight == 1 {
+		if p.Status()[busy].Inflight == 1 {
 			break
 		}
 		if i > 500 {
-			t.Fatal("first request never reached b0")
+			t.Fatalf("first request never reached its owner %s", names[busy])
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -101,8 +137,8 @@ func TestPoolLeastLoaded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Config != "b1" {
-		t.Fatalf("second request served by %s, want the idle b1", res.Config)
+	if res.Config != names[idle] {
+		t.Fatalf("second request served by %s, want the idle %s", res.Config, names[idle])
 	}
 	close(release)
 	wg.Wait()
@@ -112,30 +148,37 @@ func TestPoolLeastLoaded(t *testing.T) {
 // excluded from the retry, which lands on the other member; the faulty
 // member is marked down for the prober to revive.
 func TestPoolRetryExcludesFailedBackend(t *testing.T) {
-	b0 := &fakeBackend{name: "b0", run: func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+	names := []string{"b0", "b1"}
+	faulty := ownerIndex(runKeyFor(t, testReq(100)), names)
+	other := 1 - faulty
+
+	backends := make([]*fakeBackend, 2)
+	for i, n := range names {
+		backends[i] = &fakeBackend{name: n, run: okRun(n)}
+	}
+	backends[faulty].run = func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
 		return nil, fmt.Errorf("%w: injected connection drop", ErrUnavailable)
-	}}
-	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
-	p := newTestPool(t, []Backend{b0, b1})
+	}
+	p := newTestPool(t, []Backend{backends[0], backends[1]})
 
 	res, err := p.Run(context.Background(), testReq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Config != "b1" {
-		t.Fatalf("served by %s, want the retry on b1", res.Config)
+	if res.Config != names[other] {
+		t.Fatalf("served by %s, want the retry on %s", res.Config, names[other])
 	}
-	if got := b0.calls.Load(); got != 1 {
-		t.Fatalf("b0 called %d times, want 1", got)
+	if got := backends[faulty].calls.Load(); got != 1 {
+		t.Fatalf("%s called %d times, want 1", names[faulty], got)
 	}
-	if st := p.Status(); st[0].Healthy || !st[1].Healthy {
+	if st := p.Status(); st[faulty].Healthy || !st[other].Healthy {
 		t.Fatalf("health after fault: %+v", st)
 	}
-	// With b0 down, fresh requests route straight to b1.
+	// With the faulty member down, fresh requests route to the survivor.
 	if _, err := p.Run(context.Background(), testReq(200)); err != nil {
 		t.Fatal(err)
 	}
-	if got := b0.calls.Load(); got != 1 {
+	if got := backends[faulty].calls.Load(); got != 1 {
 		t.Fatalf("down member still receiving traffic (%d calls)", got)
 	}
 }
@@ -164,11 +207,17 @@ func TestPoolBoundedAttempts(t *testing.T) {
 // TestPoolNonRetryableFailsFast: validation-class errors surface
 // immediately instead of burning attempts on other members.
 func TestPoolNonRetryableFailsFast(t *testing.T) {
-	b0 := &fakeBackend{name: "b0", run: func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
+	names := []string{"b0", "b1"}
+	owner := ownerIndex(runKeyFor(t, testReq(100)), names)
+
+	backends := make([]*fakeBackend, 2)
+	for i, n := range names {
+		backends[i] = &fakeBackend{name: n, run: okRun(n)}
+	}
+	backends[owner].run = func(context.Context, lab.RunRequest) (*lab.RunResult, error) {
 		return nil, fmt.Errorf("%w: %q", lab.ErrUnknownWorkload, "mcf")
-	}}
-	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
-	p := newTestPool(t, []Backend{b0, b1})
+	}
+	p := newTestPool(t, []Backend{backends[0], backends[1]})
 	_, err := p.Run(context.Background(), testReq(100))
 	if !errors.Is(err, lab.ErrUnknownWorkload) {
 		t.Fatalf("want ErrUnknownWorkload, got %v", err)
@@ -176,7 +225,7 @@ func TestPoolNonRetryableFailsFast(t *testing.T) {
 	if got := p.BackendCalls(); got != 1 {
 		t.Fatalf("issued %d backend calls, want 1 (no retry on validation errors)", got)
 	}
-	if !p.Status()[0].Healthy {
+	if !p.Status()[owner].Healthy {
 		t.Fatal("validation error must not mark the member down")
 	}
 	// A locally invalid config never reaches a backend at all.
@@ -293,12 +342,19 @@ func TestPoolOverloadBackpressure(t *testing.T) {
 // second member after the hedge delay, and the fast copy's (identical)
 // result wins without waiting for the straggler.
 func TestPoolHedging(t *testing.T) {
-	b0 := &fakeBackend{name: "b0", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	names := []string{"b0", "b1"}
+	slow := ownerIndex(runKeyFor(t, testReq(100)), names)
+	fast := 1 - slow
+
+	backends := make([]*fakeBackend, 2)
+	for i, n := range names {
+		backends[i] = &fakeBackend{name: n, run: okRun(n)}
+	}
+	backends[slow].run = func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
 		<-ctx.Done() // straggles until the winner cancels it
 		return nil, ctx.Err()
-	}}
-	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
-	p := newTestPool(t, []Backend{b0, b1}, WithHedgeAfter(5*time.Millisecond))
+	}
+	p := newTestPool(t, []Backend{backends[0], backends[1]}, WithHedgeAfter(5*time.Millisecond))
 
 	done := make(chan struct{})
 	var res *lab.RunResult
@@ -315,8 +371,8 @@ func TestPoolHedging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Config != "b1" {
-		t.Fatalf("served by %s, want the hedge on b1", res.Config)
+	if res.Config != names[fast] {
+		t.Fatalf("served by %s, want the hedge on %s", res.Config, names[fast])
 	}
 	if got := p.BackendCalls(); got != 2 {
 		t.Fatalf("issued %d backend calls, want 2 (primary + hedge)", got)
@@ -326,35 +382,39 @@ func TestPoolHedging(t *testing.T) {
 // TestPoolProbeRevivesDeadBackend: a member marked down by a dispatch
 // fault returns to rotation once its health probe passes again.
 func TestPoolProbeRevivesDeadBackend(t *testing.T) {
+	names := []string{"b0", "b1"}
+	faulty := ownerIndex(runKeyFor(t, testReq(100)), names)
+
 	var down atomic.Bool
 	down.Store(true)
-	b0 := &fakeBackend{
-		name: "b0",
-		run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
-			if down.Load() {
-				return nil, fmt.Errorf("%w: down", ErrUnavailable)
-			}
-			return okRun("b0")(ctx, req)
-		},
-		check: func(context.Context) error {
-			if down.Load() {
-				return fmt.Errorf("%w: still down", ErrUnavailable)
-			}
-			return nil
-		},
+	backends := make([]*fakeBackend, 2)
+	for i, n := range names {
+		backends[i] = &fakeBackend{name: n, run: okRun(n)}
 	}
-	b1 := &fakeBackend{name: "b1", run: okRun("b1")}
-	p := newTestPool(t, []Backend{b0, b1}, WithProbeEvery(5*time.Millisecond))
+	inner := okRun(names[faulty])
+	backends[faulty].run = func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		if down.Load() {
+			return nil, fmt.Errorf("%w: down", ErrUnavailable)
+		}
+		return inner(ctx, req)
+	}
+	backends[faulty].check = func(context.Context) error {
+		if down.Load() {
+			return fmt.Errorf("%w: still down", ErrUnavailable)
+		}
+		return nil
+	}
+	p := newTestPool(t, []Backend{backends[0], backends[1]}, WithProbeEvery(5*time.Millisecond))
 
 	if _, err := p.Run(context.Background(), testReq(100)); err != nil {
 		t.Fatal(err)
 	}
-	if p.Status()[0].Healthy {
+	if p.Status()[faulty].Healthy {
 		t.Fatal("faulting member not marked down")
 	}
 	down.Store(false)
 	for i := 0; ; i++ {
-		if p.Status()[0].Healthy {
+		if p.Status()[faulty].Healthy {
 			break
 		}
 		if i > 2000 {
@@ -393,4 +453,146 @@ func TestPoolExperimentsOrdered(t *testing.T) {
 	if _, err := p.Experiments(context.Background(), []string{"nope"}, nil); !errors.Is(err, lab.ErrUnknownExperiment) {
 		t.Fatalf("unknown id: %v", err)
 	}
+}
+
+// statsBackend is a fakeBackend that also reports server load the way a
+// real r3dlad /v1/stats endpoint does (it implements loadReporter, so
+// the prober folds its answers into routing).
+type statsBackend struct {
+	fakeBackend
+	stats func(ctx context.Context) (lab.Stats, error)
+}
+
+func (s *statsBackend) Stats(ctx context.Context) (lab.Stats, error) { return s.stats(ctx) }
+
+// TestPoolStaleLoadReset pins the stale-signal fix: a member whose stats
+// endpoint dies must not keep biasing least-loaded dispatch with its
+// last reported load — the signal resets and traffic rebalances back.
+func TestPoolStaleLoadReset(t *testing.T) {
+	var b0statsDown atomic.Bool
+	b0 := &statsBackend{
+		fakeBackend: fakeBackend{name: "b0", run: okRun("b0"), exp: func(_ context.Context, id string) (*lab.Report, error) {
+			return &lab.Report{ID: id, Title: "b0"}, nil
+		}},
+		stats: func(context.Context) (lab.Stats, error) {
+			if b0statsDown.Load() {
+				return lab.Stats{}, fmt.Errorf("%w: stats endpoint gone", ErrUnavailable)
+			}
+			return lab.Stats{Inflight: 5}, nil
+		},
+	}
+	b1 := &statsBackend{
+		fakeBackend: fakeBackend{name: "b1", run: okRun("b1"), exp: func(_ context.Context, id string) (*lab.Report, error) {
+			return &lab.Report{ID: id, Title: "b1"}, nil
+		}},
+		stats: func(context.Context) (lab.Stats, error) {
+			return lab.Stats{Inflight: 3}, nil
+		},
+	}
+	// A long probe cadence so only our explicit probeAll calls move the
+	// load signals.
+	p := newTestPool(t, []Backend{b0, b1}, WithProbeEvery(time.Hour))
+
+	// While b0 honestly reports heavier load, dispatch prefers b1.
+	p.probeAll()
+	rep, err := p.Experiment(context.Background(), "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Title != "b1" {
+		t.Fatalf("with b0 at load 5 and b1 at 3, dispatch chose %s, want b1", rep.Title)
+	}
+
+	// b0's stats endpoint dies (the member itself still serves). Its last
+	// value (5) is dead data now: after the next probe round the pool
+	// must forget it and rebalance onto b0 (probed load 0 beats b1's 3).
+	b0statsDown.Store(true)
+	p.probeAll()
+	if load := p.members[0].load.Load(); load != 0 {
+		t.Fatalf("b0 load %d after failed probe, want 0 (stale signal kept)", load)
+	}
+	rep, err = p.Experiment(context.Background(), "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Title != "b0" {
+		t.Fatalf("after b0's stats died, dispatch chose %s, want the rebalance to b0", rep.Title)
+	}
+
+	// Markdown also clears the signal: a revived member starts clean.
+	b0statsDown.Store(false)
+	p.probeAll()
+	if load := p.members[0].load.Load(); load != 5 {
+		t.Fatalf("b0 load %d after healthy probe, want 5", load)
+	}
+	p.markDown(p.members[0], fmt.Errorf("%w: fault", ErrUnavailable))
+	if load := p.members[0].load.Load(); load != 0 {
+		t.Fatalf("b0 load %d after markdown, want 0", load)
+	}
+}
+
+// TestPoolCacheAffinity pins the rendezvous routing contract: with an
+// idle fleet, every pool (every client) sends one key to the same
+// member — fleet result stores become a coherent caching tier — and the
+// hash actually spreads distinct keys. A busy owner overflows to the
+// least-loaded member instead of queueing behind itself.
+func TestPoolCacheAffinity(t *testing.T) {
+	names := []string{"b0", "b1", "b2"}
+	build := func() []Backend {
+		var bs []Backend
+		for _, n := range names {
+			bs = append(bs, &fakeBackend{name: n, run: okRun(n)})
+		}
+		return bs
+	}
+	p1 := newTestPool(t, build())
+	p2 := newTestPool(t, build())
+
+	owners := make(map[string]bool)
+	for i := 0; i < 16; i++ {
+		req := testReq(uint64(1000 + i))
+		cfg, err := req.Config.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := lab.RunKey(req.Workload, cfg, req.Budget)
+		// The owner is the rendezvous winner, deterministically.
+		wantOwner, wantScore := "", uint64(0)
+		for _, n := range names {
+			if s := rendezvousScore(key, n); wantOwner == "" || s > wantScore {
+				wantOwner, wantScore = n, s
+			}
+		}
+		m1, m2 := p1.pickKeyed(key, nil), p2.pickKeyed(key, nil)
+		if m1.b.Name() != wantOwner || m2.b.Name() != wantOwner {
+			t.Fatalf("key %s routed to %s/%s, want the rendezvous owner %s",
+				key, m1.b.Name(), m2.b.Name(), wantOwner)
+		}
+		// End to end: the dispatch itself lands on the owner.
+		res, err := p1.Run(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Config != wantOwner {
+			t.Fatalf("key %s served by %s, want owner %s", key, res.Config, wantOwner)
+		}
+		owners[wantOwner] = true
+	}
+	if len(owners) != len(names) {
+		t.Fatalf("16 keys landed on only %d of %d members; rendezvous hash is degenerate", len(owners), len(names))
+	}
+
+	// A busy owner is bypassed: affinity must not queue work behind a
+	// member that is measurably busier than an idle sibling.
+	req := testReq(77)
+	cfg, _ := req.Config.Config()
+	key := lab.RunKey(req.Workload, cfg, req.Budget)
+	owner := p1.pickKeyed(key, nil)
+	owner.inflight.Add(3)
+	if got := p1.pickKeyed(key, nil); got == owner {
+		t.Fatal("busy owner still preferred over idle members")
+	} else if got.inflight.Load() != 0 {
+		t.Fatalf("overflow went to a busy member (inflight %d)", got.inflight.Load())
+	}
+	owner.inflight.Add(-3)
 }

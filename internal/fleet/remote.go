@@ -24,10 +24,11 @@ import (
 // long simulations, and a connection dropped mid-run surfaces as a
 // retryable ErrUnavailable instead of a hang.
 type Remote struct {
-	name    string
-	base    string // http://host:port, no trailing slash
-	hc      *http.Client
-	timeout time.Duration // per-request cap; 0 = none (simulations can be long)
+	name     string
+	base     string // http://host:port, no trailing slash
+	hc       *http.Client
+	timeout  time.Duration // per-request cap; 0 = none (simulations can be long)
+	priority string        // admission class sent with every request ("" = server default)
 }
 
 // RemoteOption configures a Remote.
@@ -43,6 +44,15 @@ func WithHTTPClient(hc *http.Client) RemoteOption {
 // (0 = no cap — simulation requests are legitimately slow).
 func WithRequestTimeout(d time.Duration) RemoteOption {
 	return func(r *Remote) { r.timeout = d }
+}
+
+// WithPriority stamps every request with an admission class
+// (lab.PriorityInteractive or lab.PriorityBatch) via the
+// lab.PriorityHeader header, so the server's fair-share admission knows
+// bulk traffic from interactive traffic. Empty (the default) sends no
+// header, which the server treats as interactive.
+func WithPriority(class string) RemoteOption {
+	return func(r *Remote) { r.priority = class }
 }
 
 // NewRemote builds a Backend for one r3dlad instance. addr is a host:port
@@ -130,6 +140,9 @@ func (r *Remote) postJSON(ctx context.Context, path string, payload any) (*http.
 		return nil, fmt.Errorf("%w: %s: %v", ErrBackend, r.name, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if r.priority != "" {
+		req.Header.Set(lab.PriorityHeader, r.priority)
+	}
 	return r.hc.Do(req)
 }
 

@@ -1,0 +1,150 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Cross-client request coalescing. The Lab's own singleflight cells
+// dedup concurrent identical work, but each caller's cancellation
+// propagates into the shared computation (a canceled leader hands over
+// to a waiter, who re-runs from wherever the engine can resume). At the
+// serving layer we want a stronger contract: N concurrent identical
+// /v1/runs perform exactly one simulation, and one client disconnecting
+// never disturbs the answer the others are waiting for. runFlight
+// provides it by running the simulation on a context detached from every
+// request, canceled only when the last waiter has gone away.
+
+// runFlight is one shared simulation in progress: the first request for
+// a key starts the computation and every concurrent request for the same
+// key joins as a waiter.
+type runFlight struct {
+	done chan struct{} // closed when res/err are published
+	res  *RunResult
+	err  error
+
+	cancel context.CancelFunc // cancels the shared computation
+
+	mu      sync.Mutex
+	waiters int
+	nextSub int
+	subs    map[int]func(Event) // streaming waiters' progress sinks
+}
+
+// broadcast fans one engine progress event out to every subscribed
+// waiter.
+func (fl *runFlight) broadcast(ev Event) {
+	fl.mu.Lock()
+	fns := make([]func(Event), 0, len(fl.subs))
+	for _, f := range fl.subs {
+		fns = append(fns, f)
+	}
+	fl.mu.Unlock()
+	for _, f := range fns {
+		f(ev)
+	}
+}
+
+// join registers a waiter, subscribing onEvent (when non-nil) to the
+// flight's progress; it returns the id to pass to leave/unsubscribe.
+func (fl *runFlight) join(onEvent func(Event)) int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.waiters++
+	if onEvent == nil {
+		return -1
+	}
+	id := fl.nextSub
+	fl.nextSub++
+	fl.subs[id] = onEvent
+	return id
+}
+
+// leave unregisters a waiter that gave up (its own request context
+// ended). The last waiter out cancels the shared computation — nobody is
+// left to read the answer.
+func (fl *runFlight) leave(sub int) {
+	fl.mu.Lock()
+	fl.waiters--
+	if sub >= 0 {
+		delete(fl.subs, sub)
+	}
+	last := fl.waiters == 0
+	fl.mu.Unlock()
+	if last {
+		fl.cancel()
+	}
+}
+
+// unsubscribe drops just the progress subscription, for waiters that got
+// their answer (waiter accounting no longer matters once the flight is
+// done).
+func (fl *runFlight) unsubscribe(sub int) {
+	if sub < 0 {
+		return
+	}
+	fl.mu.Lock()
+	delete(fl.subs, sub)
+	fl.mu.Unlock()
+}
+
+// runShared answers one run request through the coalescing layer: at
+// most one simulation per key is in flight server-wide, every concurrent
+// request shares its answer, and the computation is canceled only when
+// every waiter has gone away. If the shared run dies of cancellation
+// while this caller is still alive (it joined just as the previous
+// waiters left), the caller takes over as the new leader and retries.
+func (s *Server) runShared(ctx context.Context, key string, req RunRequest, onEvent func(Event)) (*RunResult, error) {
+	for {
+		s.flightMu.Lock()
+		fl, ok := s.flights[key]
+		if !ok {
+			runCtx, cancel := context.WithCancel(context.Background())
+			fl = &runFlight{
+				done:   make(chan struct{}),
+				cancel: cancel,
+				subs:   make(map[int]func(Event)),
+			}
+			s.flights[key] = fl
+			s.flightMu.Unlock()
+			go s.leadFlight(runCtx, key, fl, req)
+		} else {
+			s.flightMu.Unlock()
+			s.coalesced.Add(1)
+		}
+		sub := fl.join(onEvent)
+		select {
+		case <-fl.done:
+			fl.unsubscribe(sub)
+			if fl.err != nil && ctx.Err() == nil &&
+				(errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) {
+				// The shared run was canceled because its waiters left —
+				// not us, we're still here. Run it again.
+				continue
+			}
+			return fl.res, fl.err
+		case <-ctx.Done():
+			fl.leave(sub)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// leadFlight runs the shared simulation and publishes its outcome. The
+// context is detached from any single request; progress fans out to the
+// flight's subscribers. A successful answer is persisted to the result
+// store before the flight resolves, so the answer is durable by the time
+// any waiter sees it.
+func (s *Server) leadFlight(ctx context.Context, key string, fl *runFlight, req RunRequest) {
+	defer fl.cancel() // releases the detached context's resources
+	res, err := s.lab.WithProgress(fl.broadcast).Run(ctx, req)
+	if err == nil {
+		s.storePut(key, res)
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+}

@@ -1,0 +1,48 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the server's counters in the Prometheus text
+// exposition format (version 0.0.4), mounted on GET /metrics and on
+// GET /v1/stats?format=prometheus. Hand-rolled on purpose: the module
+// carries no external dependencies, and the counter set is small enough
+// that a client library would dwarf the code it replaced.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.statsSnapshot()
+	var b strings.Builder
+	metric := func(name, typ, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	perClass := func(name, typ, help string, f func(ClassStats) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		fmt.Fprintf(&b, "%s{class=%q} %d\n", name, PriorityInteractive, f(st.Interactive))
+		fmt.Fprintf(&b, "%s{class=%q} %d\n", name, PriorityBatch, f(st.Batch))
+	}
+
+	metric("r3dlad_inflight", "gauge", "Simulation requests currently admitted.", st.Inflight)
+	metric("r3dlad_admission_capacity", "gauge", "Admission bound (0 = unlimited).", st.Capacity)
+	metric("r3dlad_requests_completed_total", "counter", "Requests answered successfully.", st.Completed)
+	metric("r3dlad_requests_canceled_total", "counter", "Requests whose client went away mid-flight.", st.Canceled)
+	metric("r3dlad_simulations_total", "counter", "Simulations actually executed (cache misses).", st.Runs)
+	metric("r3dlad_coalesced_waiters_total", "counter", "Requests served by joining another request's in-flight simulation.", st.Coalesced)
+	perClass("r3dlad_class_inflight", "gauge", "Admitted requests in flight per priority class.",
+		func(c ClassStats) int64 { return c.Inflight })
+	perClass("r3dlad_class_admitted_total", "counter", "Cumulative admissions per priority class.",
+		func(c ClassStats) int64 { return c.Admitted })
+	perClass("r3dlad_class_shed_total", "counter", "Cumulative 503s per priority class.",
+		func(c ClassStats) int64 { return c.Shed })
+	metric("r3dlad_store_hits_total", "counter", "Persistent result store hits.", st.Store.Hits)
+	metric("r3dlad_store_misses_total", "counter", "Persistent result store misses.", st.Store.Misses)
+	metric("r3dlad_store_evictions_total", "counter", "Persistent result store LRU evictions.", st.Store.Evictions)
+	metric("r3dlad_store_puts_total", "counter", "Persistent result store writes.", st.Store.Puts)
+	metric("r3dlad_store_entries", "gauge", "Persistent result store live entries.", st.Store.Entries)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, b.String())
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"r3dla/internal/resultstore"
 	"r3dla/internal/workloads"
 )
 
@@ -18,27 +20,84 @@ import (
 // no longer be delivered, but the server accounts for the cleanup.
 const StatusClientClosedRequest = 499
 
+// PriorityHeader selects a request's admission class. Recognized values
+// are PriorityInteractive (the default) and PriorityBatch; anything else
+// is treated as interactive.
+const PriorityHeader = "X-R3DLA-Priority"
+
+// The admission classes. Interactive requests may use the whole
+// admission capacity; batch requests (sweeps, explorations, bulk
+// clients) are capped below it so a flood of batch work can never
+// starve interactive runs.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+const (
+	classInteractive = iota
+	classBatch
+	numClasses
+)
+
+// ResultsFingerprint ties persisted RunResults to the simulation
+// semantics that produced them; it is the fingerprint to pass to
+// resultstore.Open for a store serving this package's results. Bump it
+// whenever RunResult's encoding or the simulator's observable behavior
+// changes, so a store written by an older binary reads as all misses
+// instead of wrong answers.
+const ResultsFingerprint uint64 = 1
+
 // Server is the r3dlad HTTP handler: a JSON/NDJSON API over one shared
 // Lab, so every request hits the same singleflight caches and the same
 // bounded worker pool (the server-wide job semaphore).
 //
 //	GET  /v1/healthz              liveness + request counters
 //	GET  /v1/stats                load + admission policy (the fleet router balances on it)
+//	GET  /metrics                 the same counters in Prometheus text format
 //	GET  /v1/experiments          the regenerable artifacts
 //	GET  /v1/workloads            the evaluation suite
 //	POST /v1/experiments/{id}     regenerate one artifact (?stream=1 for NDJSON progress)
 //	POST /v1/runs                 one simulation: RunRequest -> RunResult (?stream=1 likewise)
+//
+// Identical concurrent /v1/runs coalesce server-side into one shared
+// simulation (see runShared), and — when a result store is configured —
+// finished answers persist across restarts.
 type Server struct {
 	lab   *Lab
 	mux   *http.ServeMux
 	start time.Time
 
-	maxBudget uint64        // largest per-request budget accepted (0 = unlimited)
-	admit     chan struct{} // request admission semaphore (nil = unlimited)
+	maxBudget uint64 // largest per-request budget accepted (0 = unlimited)
+
+	// Admission control. capacity bounds total admitted requests;
+	// reserve is headroom only interactive requests may use, so batch
+	// admission is capped at capacity-reserve.
+	capacity int
+	reserve  int
+	admMu    sync.Mutex
+	admTotal int
+	admBatch int
+	classes  [numClasses]classCounters
+
+	store *resultstore.Store // persistent result tier (nil = off)
+
+	// Cross-client coalescing: at most one simulation per run key is in
+	// flight server-wide.
+	flightMu  sync.Mutex
+	flights   map[string]*runFlight
+	coalesced atomic.Int64 // requests that joined another request's flight
 
 	active    atomic.Int64 // simulation requests in flight
 	completed atomic.Int64 // simulation requests answered 200
 	canceled  atomic.Int64 // simulation requests whose client went away
+}
+
+// classCounters are one admission class's cumulative and live counters.
+type classCounters struct {
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -51,24 +110,47 @@ func WithMaxBudget(n uint64) ServerOption {
 
 // WithMaxInflight bounds how many simulation requests are admitted
 // concurrently; excess requests get 503 immediately instead of queueing
-// (<= 0 = unlimited). This bounds admission; actual compute parallelism
-// is bounded by the Lab's worker pool either way.
+// (<= 0 = unlimited). A quarter of the capacity (at least one slot) is
+// reserved for interactive requests: batch-class requests are shed once
+// they occupy the rest, so sweeps can't starve interactive runs. This
+// bounds admission; actual compute parallelism is bounded by the Lab's
+// worker pool either way.
 func WithMaxInflight(n int) ServerOption {
 	return func(s *Server) {
-		if n > 0 {
-			s.admit = make(chan struct{}, n)
+		if n <= 0 {
+			return
+		}
+		s.capacity = n
+		s.reserve = n / 4
+		if s.reserve < 1 {
+			s.reserve = 1
 		}
 	}
 }
 
+// WithResultStore attaches a persistent result store: finished /v1/runs
+// answers are written through to it, and repeated requests — across
+// clients, restarts, and processes sharing the directory — are served
+// from it without admission or simulation. Open the store with
+// ResultsFingerprint so semantics changes invalidate it.
+func WithResultStore(st *resultstore.Store) ServerOption {
+	return func(s *Server) { s.store = st }
+}
+
 // NewServer builds the service handler over a shared Lab.
 func NewServer(l *Lab, opts ...ServerOption) *Server {
-	s := &Server{lab: l, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{
+		lab:     l,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		flights: make(map[string]*runFlight),
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
@@ -79,33 +161,35 @@ func NewServer(l *Lab, opts ...ServerOption) *Server {
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every request carries an outcome cell, so classification into the
+	// completed/canceled counters is idempotent no matter how many layers
+	// (extension handlers calling Observe plus the server's own finish
+	// paths) classify the same request.
+	r = r.WithContext(context.WithValue(r.Context(), outcomeKey{}, new(outcomeCell)))
+	s.mux.ServeHTTP(w, r)
+}
 
 // Handle mounts an extension route (the sweep endpoint) on the server's
-// mux. Extension handlers share the server's Lab, admission semaphore and
+// mux. Extension handlers share the server's Lab, admission policy and
 // request counters through Admit/Observe.
 func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Admit reserves an admission slot for an extension handler's simulation
 // request, exactly as the built-in run/experiment endpoints do: when the
-// server is at capacity the client gets 503 and ok is false; otherwise
-// the request counts as active until release is called.
-func (s *Server) Admit(w http.ResponseWriter) (release func(), ok bool) {
-	return s.admitRequest(w)
+// server is at capacity for the request's class (the PriorityHeader on
+// r) the client gets 503 and ok is false; otherwise the request counts
+// as active until release is called.
+func (s *Server) Admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	return s.admitRequest(w, r)
 }
 
 // Observe classifies an extension request's outcome into the healthz
 // counters: nil marks it completed, a cancellation (the client went away)
-// marks it canceled. It does not write a response.
-func (s *Server) Observe(ctx context.Context, err error) {
-	if err == nil {
-		s.completed.Add(1)
-		return
-	}
-	if errorStatus(ctx, err) == StatusClientClosedRequest {
-		s.canceled.Add(1)
-	}
-}
+// marks it canceled. It does not write a response. Accounting is
+// idempotent per request: the first classification wins, repeats are
+// no-ops.
+func (s *Server) Observe(ctx context.Context, err error) { s.observe(ctx, err) }
 
 // MaxBudget reports the per-request budget cap (0 = unlimited), so
 // extension handlers enforce the same admission policy as POST /v1/runs.
@@ -143,22 +227,80 @@ func errorStatus(ctx context.Context, err error) int {
 	}
 }
 
-// admitRequest reserves an admission slot (when bounded) and marks the
-// request active; the returned release undoes both.
-func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
-	if s.admit != nil {
-		select {
-		case s.admit <- struct{}{}:
-		default:
-			writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry later"))
-			return nil, false
+// outcomeKey carries a request's outcomeCell in its context.
+type outcomeKey struct{}
+
+// outcomeCell latches the first outcome classification for one request,
+// making repeated Observe/finish calls on the same request idempotent.
+type outcomeCell struct{ done atomic.Bool }
+
+// observe classifies a request's outcome into the completed/canceled
+// counters, at most once per request (requests without a cell — bare
+// contexts in tests or embedded use — count every call).
+func (s *Server) observe(ctx context.Context, err error) {
+	if cell, ok := ctx.Value(outcomeKey{}).(*outcomeCell); ok {
+		if !cell.done.CompareAndSwap(false, true) {
+			return
 		}
 	}
+	if err == nil {
+		s.completed.Add(1)
+		return
+	}
+	if errorStatus(ctx, err) == StatusClientClosedRequest {
+		s.canceled.Add(1)
+	}
+}
+
+// requestClass maps a request's PriorityHeader to its admission class.
+func requestClass(r *http.Request) int {
+	if r != nil && strings.EqualFold(r.Header.Get(PriorityHeader), PriorityBatch) {
+		return classBatch
+	}
+	return classInteractive
+}
+
+// admitRequest reserves an admission slot for the request's class (when
+// bounded) and marks the request active; the returned release undoes
+// both. Interactive requests may use the whole capacity; batch requests
+// only capacity-reserve of it. Shedding is immediate (503), never
+// queued, so the fleet router's backpressure semantics are unchanged.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	class := requestClass(r)
+	if s.capacity > 0 {
+		s.admMu.Lock()
+		overTotal := s.admTotal >= s.capacity
+		overClass := class == classBatch && s.admBatch >= s.capacity-s.reserve
+		if overTotal || overClass {
+			s.admMu.Unlock()
+			s.classes[class].shed.Add(1)
+			if overClass && !overTotal {
+				writeError(w, http.StatusServiceUnavailable,
+					errors.New("server at batch capacity (interactive reserve), retry later"))
+			} else {
+				writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry later"))
+			}
+			return nil, false
+		}
+		s.admTotal++
+		if class == classBatch {
+			s.admBatch++
+		}
+		s.admMu.Unlock()
+	}
+	s.classes[class].admitted.Add(1)
+	s.classes[class].inflight.Add(1)
 	s.active.Add(1)
 	return func() {
 		s.active.Add(-1)
-		if s.admit != nil {
-			<-s.admit
+		s.classes[class].inflight.Add(-1)
+		if s.capacity > 0 {
+			s.admMu.Lock()
+			s.admTotal--
+			if class == classBatch {
+				s.admBatch--
+			}
+			s.admMu.Unlock()
 		}
 	}, true
 }
@@ -167,17 +309,47 @@ func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
 // writes the error response (when the client is still there to read it).
 func (s *Server) finish(w http.ResponseWriter, r *http.Request, err error) {
 	if err == nil {
-		s.completed.Add(1)
+		s.observe(r.Context(), nil)
 		return
 	}
 	status := errorStatus(r.Context(), err)
+	s.observe(r.Context(), err)
 	if status == StatusClientClosedRequest {
-		s.canceled.Add(1)
 		// The client is gone; the status line is for the access log only.
 		w.WriteHeader(StatusClientClosedRequest)
 		return
 	}
 	writeError(w, status, err)
+}
+
+// ------------------------------------------------------ result store IO
+
+// storeGet consults the persistent result tier. Anomalies (including a
+// payload a newer binary can't decode) read as misses.
+func (s *Server) storeGet(key string) (*RunResult, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var res RunResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// storePut persists a finished answer (best effort: a full disk must not
+// fail the request that computed the result).
+func (s *Server) storePut(key string, res *RunResult) {
+	if s.store == nil {
+		return
+	}
+	if data, err := json.Marshal(res); err == nil {
+		s.store.Put(key, data)
+	}
 }
 
 // ------------------------------------------------------------- handlers
@@ -207,32 +379,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Stats is the /v1/stats response body: the admission semaphore's live
-// occupancy and capacity, the admission policy knobs, and the shared
-// Lab's cache counters. A fleet router reads it to balance on real load
-// (Inflight counts every client's requests, not just the caller's) and to
-// know how much headroom a member has before admission control sheds to
-// 503.
-type Stats struct {
-	Inflight  int64  `json:"inflight"`   // simulation requests currently admitted
-	Capacity  int    `json:"capacity"`   // admission bound (0 = unlimited)
-	MaxBudget uint64 `json:"max_budget"` // per-request budget cap (0 = unlimited)
-	Budget    uint64 `json:"budget"`     // default per-run budget
-	Completed int64  `json:"completed"`  // requests answered successfully
-	Canceled  int64  `json:"canceled"`   // requests whose client went away
-	Runs      int    `json:"runs"`       // simulations actually executed (cache misses)
+// ClassStats is one admission class's live and cumulative counters.
+type ClassStats struct {
+	Inflight int64 `json:"inflight"` // admitted requests in flight
+	Admitted int64 `json:"admitted"` // cumulative admissions
+	Shed     int64 `json:"shed"`     // cumulative 503s
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{
+// Stats is the /v1/stats response body: live admission occupancy and
+// policy, per-class counters, the coalescing and result-store counters,
+// and the shared Lab's cache-miss count. A fleet router reads it to
+// balance on real load (Inflight counts every client's requests, not
+// just the caller's) and to know how much headroom a member has before
+// admission control sheds to 503. `?format=prometheus` (or GET /metrics)
+// renders the same counters in Prometheus text format.
+type Stats struct {
+	Inflight    int64             `json:"inflight"`   // simulation requests currently admitted
+	Capacity    int               `json:"capacity"`   // admission bound (0 = unlimited)
+	MaxBudget   uint64            `json:"max_budget"` // per-request budget cap (0 = unlimited)
+	Budget      uint64            `json:"budget"`     // default per-run budget
+	Completed   int64             `json:"completed"`  // requests answered successfully
+	Canceled    int64             `json:"canceled"`   // requests whose client went away
+	Runs        int               `json:"runs"`       // simulations actually executed (cache misses)
+	Coalesced   int64             `json:"coalesced_waiters"` // requests that shared another request's simulation
+	Interactive ClassStats        `json:"interactive"`
+	Batch       ClassStats        `json:"batch"`
+	Store       resultstore.Stats `json:"store"` // persistent result tier (zeros when off)
+}
+
+// statsSnapshot gathers the Stats body (shared by the JSON and
+// Prometheus renderings).
+func (s *Server) statsSnapshot() Stats {
+	st := Stats{
 		Inflight:  s.active.Load(),
-		Capacity:  cap(s.admit),
+		Capacity:  s.capacity,
 		MaxBudget: s.maxBudget,
 		Budget:    s.lab.Budget(),
 		Completed: s.completed.Load(),
 		Canceled:  s.canceled.Load(),
 		Runs:      s.lab.RunCount(),
-	})
+		Coalesced: s.coalesced.Load(),
+		Interactive: ClassStats{
+			Inflight: s.classes[classInteractive].inflight.Load(),
+			Admitted: s.classes[classInteractive].admitted.Load(),
+			Shed:     s.classes[classInteractive].shed.Load(),
+		},
+		Batch: ClassStats{
+			Inflight: s.classes[classBatch].inflight.Load(),
+			Admitted: s.classes[classBatch].admitted.Load(),
+			Shed:     s.classes[classBatch].shed.Load(),
+		},
+	}
+	if s.store != nil {
+		st.Store = s.store.Stats()
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handleMetrics(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
@@ -249,7 +458,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownExperiment, id))
 		return
 	}
-	release, ok := s.admitRequest(w)
+	release, ok := s.admitRequest(w, r)
 	if !ok {
 		return
 	}
@@ -272,7 +481,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// whether or not the client sticks around for the body. The body is
 	// exactly the engine's WriteJSON rendering — byte-identical to
 	// `r3dla -exp <id> -format json` at the same budget.
-	s.completed.Add(1)
+	s.observe(r.Context(), nil)
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)
 }
@@ -293,7 +502,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Resolve the request up front so validation failures are proper 400s
 	// and unknown workloads 404s — in particular before a ?stream=1
 	// response commits to status 200.
-	if _, err := req.Config.Config(); err != nil {
+	cfg, err := req.Config.Config()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -301,26 +511,46 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownWorkload, req.Workload))
 		return
 	}
-	release, ok := s.admitRequest(w)
+	// The canonical identity of this simulation — the same key the Lab's
+	// in-memory cache, the fleet router and the persistent store all use.
+	budget := req.Budget
+	if budget == 0 {
+		budget = s.lab.Budget()
+	}
+	key := RunKey(req.Workload, cfg, budget)
+	stream := r.URL.Query().Get("stream") != ""
+
+	// Durable tier first: a persisted answer needs no admission slot and
+	// no simulation, and re-encoding the decoded result is byte-identical
+	// to a cold run's response (RunResult's JSON encoding is
+	// deterministic).
+	if res, ok := s.storeGet(key); ok {
+		s.observe(r.Context(), nil)
+		if stream {
+			s.writeStreamResult(w, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	release, ok := s.admitRequest(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 
-	if r.URL.Query().Get("stream") != "" {
-		s.streamRequest(w, r, func(l *Lab) (any, error) {
-			res, err := l.Run(r.Context(), req)
-			return res, err
-		})
+	if stream {
+		s.streamRun(w, r, key, req)
 		return
 	}
 
-	res, err := s.lab.Run(r.Context(), req)
+	res, err := s.runShared(r.Context(), key, req, nil)
 	if err != nil {
 		s.finish(w, r, err)
 		return
 	}
-	s.completed.Add(1)
+	s.observe(r.Context(), nil)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -339,8 +569,53 @@ type StreamLine struct {
 	Error     string  `json:"error,omitempty"`
 }
 
+// writeStreamResult answers a ?stream=1 request whose result needed no
+// computation (a store hit): just the terminal line.
+func (s *Server) writeStreamResult(w http.ResponseWriter, res *RunResult) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(StreamLine{Event: "result", Result: res})
+}
+
+// streamRun is the ?stream=1 path of /v1/runs, through the coalescing
+// layer: progress events come from the shared flight (which may have
+// been started by another client).
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, key string, req RunRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(line StreamLine) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res, err := s.runShared(r.Context(), key, req, func(ev Event) {
+		emit(StreamLine{
+			Event:     ev.Stage,
+			Workload:  ev.Workload,
+			Key:       ev.Key,
+			ID:        ev.Exp,
+			ElapsedMS: float64(ev.Elapsed.Microseconds()) / 1000,
+		})
+	})
+	if err != nil {
+		s.observe(r.Context(), err)
+		emit(StreamLine{Event: "error", Error: err.Error()})
+		return
+	}
+	s.observe(r.Context(), nil)
+	emit(StreamLine{Event: "result", Result: res})
+}
+
 // streamRequest runs f with a progress-observing Lab and writes NDJSON:
-// one line per engine event, then the terminal result/error line.
+// one line per engine event, then the terminal result/error line. (The
+// experiment endpoint's streaming path; runs go through streamRun.)
 func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, f func(l *Lab) (any, error)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -367,12 +642,10 @@ func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, f func(l 
 	})
 	res, err := f(ll)
 	if err != nil {
-		if errorStatus(r.Context(), err) == StatusClientClosedRequest {
-			s.canceled.Add(1)
-		}
+		s.observe(r.Context(), err)
 		emit(StreamLine{Event: "error", Error: err.Error()})
 		return
 	}
-	s.completed.Add(1)
+	s.observe(r.Context(), nil)
 	emit(StreamLine{Event: "result", Result: res})
 }

@@ -85,7 +85,8 @@ func TestServerStats(t *testing.T) {
 					t.Fatalf("run status %d", resp.StatusCode)
 				}
 			},
-			want: Stats{Capacity: 3, Budget: 2_000, Completed: 1, Runs: 1},
+			want: Stats{Capacity: 3, Budget: 2_000, Completed: 1, Runs: 1,
+				Interactive: ClassStats{Admitted: 1}},
 		},
 		{
 			name: "cache hit executes nothing new",
@@ -102,7 +103,8 @@ func TestServerStats(t *testing.T) {
 					}
 				}
 			},
-			want: Stats{Capacity: 3, Budget: 2_000, Completed: 2, Runs: 1},
+			want: Stats{Capacity: 3, Budget: 2_000, Completed: 2, Runs: 1,
+				Interactive: ClassStats{Admitted: 2}},
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -132,7 +132,11 @@ func (c *Cache) Store(key string, train, eval *isa.Program, prof *core.Profile, 
 	f.Write(u64[:])
 	f.Write(body.Bytes())
 
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	// The temp name embeds the writer's pid: CreateTemp already opens
+	// O_EXCL, but its random suffix is process-local state, so two
+	// processes sharing one cache directory (several r3dlad instances on
+	// a host) must not be able to contend on the same temp path.
+	tmp, err := os.CreateTemp(c.dir, fmt.Sprintf(".tmp-%d-*", os.Getpid()))
 	if err != nil {
 		return fmt.Errorf("prepcache: %w", err)
 	}

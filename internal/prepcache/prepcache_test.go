@@ -1,6 +1,7 @@
 package prepcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -246,5 +247,70 @@ func TestPathSanitizesKeys(t *testing.T) {
 	p := c.path("../../evil/../key@1")
 	if filepath.Dir(p) != c.Dir() {
 		t.Fatalf("sanitized path %q escapes the cache directory", p)
+	}
+}
+
+// TestConcurrentWritersRoundTrip pins the multi-writer contract: many
+// goroutines storing the same entry into one shared directory (the shape
+// of several r3dlad instances racing a cold cache) leave exactly one
+// loadable entry, no stranded temp files, and the loaded artifacts drive
+// a simulation identical to the original.
+func TestConcurrentWritersRoundTrip(t *testing.T) {
+	f := prepFixture(t)
+	dir := t.TempDir()
+	const writers = 8
+	caches := make([]*Cache, writers)
+	for i := range caches {
+		c, err := New(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = c
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if err := caches[i].Store(testKey, f.train, f.eval, f.prof, f.set); err != nil {
+					errs[i] = err
+					return
+				}
+				if _, _, ok := caches[i].Load(testKey, f.train, f.eval); !ok {
+					// A concurrent rename may be mid-flight, but a completed
+					// Store must always read back: loads only see whole files.
+					errs[i] = fmt.Errorf("writer %d: load missed after store", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("shared dir should hold exactly one entry after the race, got %v", names)
+	}
+	prof, set, ok := caches[0].Load(testKey, f.train, f.eval)
+	if !ok {
+		t.Fatal("entry unreadable after concurrent writes")
+	}
+	want := runResults(f, f.prof, f.set)
+	got := runResults(f, prof, set)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("artifacts surviving the write race diverge:\nwant MT=%+v\ngot  MT=%+v", want.MT, got.MT)
 	}
 }

@@ -1,0 +1,367 @@
+// Package resultstore persists finished simulation answers on disk, so
+// the whole answer set survives an r3dlad restart: a rebooted server (or
+// a sibling process sharing the directory) serves a repeated request from
+// a file read instead of re-running the cycle-accurate simulation. It is
+// the durable tier of the multi-tenant result fabric — the in-memory
+// singleflight caches dedup within a process lifetime, the store dedups
+// across lifetimes and across tenants.
+//
+// The store is content-addressed by the caller's canonical run key
+// (workload|configKey@budget) and holds opaque byte payloads, so it never
+// imports the result types it persists. Entries follow the prep cache's
+// integrity discipline: a magic/version/fingerprint/key/length/checksum
+// header guards every payload, writes are atomic (unique per-process temp
+// file + rename), and any anomaly on read — torn write, version bump,
+// fingerprint or key mismatch, checksum failure — is a silent miss that
+// also deletes the damaged file, never an error. The caller regenerates
+// and overwrites.
+//
+// The store is LRU-bounded by entry count: recency is the file mtime
+// (refreshed on every hit), so the eviction order itself survives
+// restarts. Concurrent use by multiple goroutines is safe; concurrent use
+// by multiple processes is safe in the prep cache's sense — atomic renames
+// mean readers only ever observe complete files.
+package resultstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Version is the on-disk format version; bumping it orphans (and thereby
+// regenerates) every existing entry.
+const Version = 1
+
+// magic identifies a result-store file.
+var magic = [4]byte{'R', '3', 'R', 'S'}
+
+// ext is the entry file suffix.
+const ext = ".res"
+
+// Stats is a point-in-time snapshot of the store's counters. Hits,
+// Misses, Evictions and Puts are cumulative for this process; Entries is
+// the live entry count.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Puts      int64 `json:"puts"`
+	Entries   int   `json:"entries"`
+}
+
+// Store is a directory of result entries plus an in-memory LRU index.
+// The zero value is not usable; call Open.
+type Store struct {
+	dir string
+	fp  uint64 // caller's fingerprint, folded into every entry header
+	max int    // entry bound (0 = unlimited)
+
+	mu      sync.Mutex
+	order   []string // keys, least-recently-used first
+	present map[string]bool
+
+	hits, misses, evictions, puts int64
+}
+
+// Open opens (creating if needed) a result store rooted at dir.
+// fingerprint ties every entry to the caller's result semantics — bump it
+// (or fold a version constant into it) and every existing entry reads as
+// a miss. maxEntries bounds the store size (0 = unlimited); existing
+// entries beyond the bound are evicted oldest-first immediately.
+func Open(dir string, fingerprint uint64, maxEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{dir: dir, fp: fingerprint, max: maxEntries, present: make(map[string]bool)}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictOverLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports the live entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions, Puts: s.puts,
+		Entries: len(s.order),
+	}
+}
+
+// scan rebuilds the LRU index from the directory: every well-formed entry
+// file joins the index ordered by mtime (oldest first); unreadable or
+// foreign files are left alone (they read as misses and are reclaimed
+// when their key is next written).
+func (s *Store) scan() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	type rec struct {
+		key string
+		mod time.Time
+	}
+	var recs []rec
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		key, ok := readKey(filepath.Join(s.dir, name))
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{key: key, mod: info.ModTime()})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].mod.Equal(recs[j].mod) {
+			return recs[i].mod.Before(recs[j].mod)
+		}
+		return recs[i].key < recs[j].key // deterministic order for equal mtimes
+	})
+	for _, r := range recs {
+		if !s.present[r.key] {
+			s.present[r.key] = true
+			s.order = append(s.order, r.key)
+		}
+	}
+	return nil
+}
+
+// path maps a key to its file, sanitized so keys never escape the store
+// directory. Sanitization collisions are harmless: the exact key is
+// embedded in the header and verified on load.
+func (s *Store) path(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '@', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+	return filepath.Join(s.dir, clean+ext)
+}
+
+// encode renders the framed entry: header (magic, version, fingerprint,
+// key) then length-prefixed, checksummed body.
+func (s *Store) encode(key string, body []byte) []byte {
+	var f bytes.Buffer
+	f.Grow(len(key) + len(body) + 32)
+	f.Write(magic[:])
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	f.Write(u32[:])
+	binary.LittleEndian.PutUint64(u64[:], s.fp)
+	f.Write(u64[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(key)))
+	f.Write(u32[:])
+	f.WriteString(key)
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(body)))
+	f.Write(u64[:])
+	sum := fnv.New64a()
+	sum.Write(body)
+	binary.LittleEndian.PutUint64(u64[:], sum.Sum64())
+	f.Write(u64[:])
+	f.Write(body)
+	return f.Bytes()
+}
+
+// fixedHeader is the byte length of the fields before the variable key.
+const fixedHeader = 4 + 4 + 8 + 4 // magic, version, fingerprint, keyLen
+
+// readKey extracts the embedded key from an entry file without
+// validating the body (index-rebuild use). ok=false on any header
+// anomaly.
+func readKey(path string) (string, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) < fixedHeader {
+		return "", false
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return "", false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != Version {
+		return "", false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[16:20]))
+	if keyLen < 0 || len(raw) < fixedHeader+keyLen {
+		return "", false
+	}
+	return string(raw[fixedHeader : fixedHeader+keyLen]), true
+}
+
+// decode validates a framed entry against key and the store fingerprint,
+// returning the body. ok=false on any anomaly.
+func (s *Store) decode(raw []byte, key string) ([]byte, bool) {
+	if len(raw) < fixedHeader {
+		return nil, false
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != Version {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint64(raw[8:16]) != s.fp {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[16:20]))
+	rest := raw[fixedHeader:]
+	if keyLen < 0 || len(rest) < keyLen+16 {
+		return nil, false
+	}
+	if string(rest[:keyLen]) != key {
+		return nil, false
+	}
+	rest = rest[keyLen:]
+	bodyLen := binary.LittleEndian.Uint64(rest[:8])
+	wantSum := binary.LittleEndian.Uint64(rest[8:16])
+	body := rest[16:]
+	if uint64(len(body)) != bodyLen {
+		return nil, false
+	}
+	sum := fnv.New64a()
+	sum.Write(body)
+	if sum.Sum64() != wantSum {
+		return nil, false
+	}
+	return body, true
+}
+
+// Get returns the stored payload for key. Any anomaly — missing file,
+// damaged header or body, wrong fingerprint — is a miss; a damaged file
+// is deleted so the next Put rebuilds it cleanly. A hit refreshes the
+// entry's recency (in memory and, best-effort, the file mtime, so LRU
+// order survives restarts).
+func (s *Store) Get(key string) ([]byte, bool) {
+	path := s.path(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses++
+		s.dropLocked(key)
+		return nil, false
+	}
+	body, ok := s.decode(raw, key)
+	if !ok {
+		s.misses++
+		s.dropLocked(key)
+		os.Remove(path)
+		return nil, false
+	}
+	s.hits++
+	s.touchLocked(key)
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort: persists recency across restarts
+	return body, true
+}
+
+// Put stores payload under key (overwriting any previous entry) and
+// evicts least-recently-used entries beyond the bound. The write is
+// atomic: concurrent readers — in this process or another sharing the
+// directory — see either the old entry or the new one, never a torn file.
+func (s *Store) Put(key string, payload []byte) error {
+	framed := s.encode(key, payload)
+	// The temp pattern embeds the pid, so two processes sharing the
+	// directory can never collide on a temp name even across CreateTemp's
+	// random-suffix space.
+	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf(".tmp-%d-*", os.Getpid()))
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: rename %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.puts++
+	s.touchLocked(key)
+	s.evictOverLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// touchLocked moves key to the most-recently-used end (inserting it if
+// new).
+func (s *Store) touchLocked(key string) {
+	if s.present[key] {
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(append(s.order[:i:i], s.order[i+1:]...), key)
+				return
+			}
+		}
+	}
+	s.present[key] = true
+	s.order = append(s.order, key)
+}
+
+// dropLocked removes key from the index (file already gone or damaged).
+func (s *Store) dropLocked(key string) {
+	if !s.present[key] {
+		return
+	}
+	delete(s.present, key)
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictOverLocked deletes least-recently-used entries until the store is
+// within its bound.
+func (s *Store) evictOverLocked() {
+	if s.max <= 0 {
+		return
+	}
+	for len(s.order) > s.max {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.present, victim)
+		os.Remove(s.path(victim))
+		s.evictions++
+	}
+}

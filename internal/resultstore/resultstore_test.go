@@ -1,0 +1,266 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testFP = 0xfeedface
+
+func open(t *testing.T, dir string, max int) *Store {
+	t.Helper()
+	s, err := Open(dir, testFP, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	key := "mcf|dla@150000"
+	payload := []byte(`{"workload":"mcf","ipc":1.25}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store served a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: ok=%v got=%q want=%q", ok, got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestStoreSurvivesRestart is the store's reason to exist: a fresh Store
+// over a warm directory serves the old process's answers.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, 0)
+	if err := s1.Put("bfs|r3@2000", []byte("answer")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0)
+	if got, ok := s2.Get("bfs|r3@2000"); !ok || string(got) != "answer" {
+		t.Fatalf("restart lost the entry: ok=%v got=%q", ok, got)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("restart index has %d entries, want 1", s2.Len())
+	}
+}
+
+// TestStoreFingerprintMismatch: entries written under a different
+// fingerprint (older simulator semantics) read as misses.
+func TestStoreFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, 0)
+	if err := s1.Put("k", []byte("old semantics")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, testFP+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("fingerprint mismatch served a hit")
+	}
+}
+
+// TestStoreCorruptionIsMiss walks the fault catalogue: every damaged
+// byte, truncation or foreign file must load as a clean miss, never an
+// error or a wrong payload, and the damaged file must be reclaimed.
+func TestStoreCorruptionIsMiss(t *testing.T) {
+	key := "mcf|r3@4000"
+	payload := []byte("the cached answer bytes")
+	for _, tc := range []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"truncated header", func(t *testing.T, path string) { rewrite(t, path, func(b []byte) []byte { return b[:8] }) }},
+		{"truncated body", func(t *testing.T, path string) { rewrite(t, path, func(b []byte) []byte { return b[:len(b)-3] }) }},
+		{"wrong magic", func(t *testing.T, path string) {
+			rewrite(t, path, func(b []byte) []byte { b[0] ^= 0xff; return b })
+		}},
+		{"wrong version", func(t *testing.T, path string) {
+			rewrite(t, path, func(b []byte) []byte { b[4] ^= 0xff; return b })
+		}},
+		{"flipped body byte", func(t *testing.T, path string) {
+			rewrite(t, path, func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+		}},
+		{"flipped checksum", func(t *testing.T, path string) {
+			rewrite(t, path, func(b []byte) []byte { b[len(b)-len(payload)-1] ^= 1; return b })
+		}},
+		{"empty file", func(t *testing.T, path string) { rewrite(t, path, func([]byte) []byte { return nil }) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, 0)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, s.path(key))
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("damaged entry served a hit: %q", got)
+			}
+			if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+				t.Fatal("damaged file was not reclaimed")
+			}
+			// The store still works for the same key afterwards.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("store unusable after damage: ok=%v got=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestStoreKeyMismatch: a file renamed onto another key's path (or a
+// sanitization collision) must miss — the embedded key is authoritative.
+func TestStoreKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.Put("key-a", []byte("a's answer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path("key-a"), s.path("key-b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("key-b"); ok {
+		t.Fatalf("renamed entry served the wrong key: %q", got)
+	}
+}
+
+// TestStorePathSanitization: hostile keys stay inside the store
+// directory and still round-trip.
+func TestStorePathSanitization(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	key := "../../etc/passwd|evil/../@42"
+	if err := s.Put(key, []byte("contained")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("store dir has %d entries, want 1 (escaped?)", len(ents))
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "contained" {
+		t.Fatalf("hostile key round trip: ok=%v got=%q", ok, got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "..", "..", "etc", "passwd")); err == nil {
+		t.Fatal("key escaped the store directory")
+	}
+}
+
+// TestStoreLRUEviction: the bound holds, the oldest (least recently
+// touched) entry goes first, and a Get refreshes recency.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 3)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.Put("k3", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("LRU victim k1 survived")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted, want k1 only", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v, want 1 eviction and 3 entries", st)
+	}
+}
+
+// TestStoreRestartEvictsOverBound: reopening with a smaller bound trims
+// oldest-first, using mtimes persisted by the previous process.
+func TestStoreRestartEvictsOverBound(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, 0)
+	for i := 0; i < 4; i++ {
+		if err := s1.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the restart scan sees an unambiguous order.
+		past := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(s1.path(fmt.Sprintf("k%d", i)), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, 2)
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2", s2.Len())
+	}
+	for _, k := range []string{"k0", "k1"} {
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("oldest entry %s survived the restart trim", k)
+		}
+	}
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("newest entry %s was trimmed", k)
+		}
+	}
+}
+
+// TestStoreConcurrentAccess hammers one store from many goroutines (run
+// under -race in CI): every Get must return either a miss or a complete,
+// valid payload for its key.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := open(t, t.TempDir(), 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				want := []byte("payload-" + key)
+				if err := s.Put(key, want); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("get %s: wrong payload %q", key, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// rewrite mutates a stored file in place.
+func rewrite(t *testing.T, path string, f func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

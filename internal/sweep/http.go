@@ -13,11 +13,12 @@ import (
 )
 
 // Gate is the slice of the r3dlad server a sweep handler shares: request
-// admission (503 at capacity), outcome accounting for /v1/healthz, and
-// the per-request budget cap. *lab.Server implements it; a nil Gate means
-// unlimited admission and no budget cap (library/test use).
+// admission (503 at capacity, class-aware via the request's priority
+// header), outcome accounting for /v1/healthz, and the per-request
+// budget cap. *lab.Server implements it; a nil Gate means unlimited
+// admission and no budget cap (library/test use).
 type Gate interface {
-	Admit(w http.ResponseWriter) (release func(), ok bool)
+	Admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool)
 	Observe(ctx context.Context, err error)
 	MaxBudget() uint64
 }
@@ -72,7 +73,7 @@ func NewHandler(l *lab.Lab, g Gate) http.Handler {
 		var release func()
 		if g != nil {
 			var ok bool
-			if release, ok = g.Admit(w); !ok {
+			if release, ok = g.Admit(w, r); !ok {
 				return
 			}
 			defer release()
