@@ -19,6 +19,8 @@
 //	    -strategy pareto -seed 7 -samples 64 -rounds 2
 //	r3dla explore -spec explore.json -journal explore.ndjson -resume
 //
+//	r3dla chaos -seed 7                  # seeded chaos soak against a mini-fleet
+//
 // The run subcommand executes one simulation and prints its RunResult
 // JSON. The sweep subcommand explores a configuration grid (axes over
 // presets, feature toggles, queue sizes, skeleton versions and core
@@ -28,7 +30,10 @@
 // to sweep: the same axes enumerated lazily, sampled (seeded random or
 // Latin hypercube) and searched adaptively (successive halving on IPC,
 // Pareto search over IPC vs energy) — fixed seed, byte-identical output
-// (README "Exploring large spaces", DESIGN.md §9).
+// (README "Exploring large spaces", DESIGN.md §9). The chaos subcommand
+// runs a seeded fault-injection soak — an in-process mini-fleet under
+// kills, torn writes and injected errors, asserting byte-identity
+// against a fault-free baseline (README "Soak testing", DESIGN.md §11).
 //
 // All three modes accept -backends host1:8080,host2:8080 to distribute
 // work across a fleet of r3dlad instances: cells route least-loaded with
@@ -70,6 +75,9 @@ func main() {
 			return
 		case "bench":
 			runBench(os.Args[2:])
+			return
+		case "chaos":
+			runChaos(os.Args[2:])
 			return
 		}
 	}

@@ -133,6 +133,9 @@ func runSweep(args []string) {
 	}
 
 	opts := sweep.Options{Journal: *journal, Resume: *resume}
+	opts.Warn = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "r3dla "+format+"\n", args...)
+	}
 	if !*quiet {
 		opts.Progress = func(ev sweep.Event) {
 			state := ev.Elapsed.Round(time.Millisecond).String()

@@ -1,0 +1,18 @@
+package atomicio
+
+import (
+	"errors"
+	"syscall"
+	"time"
+)
+
+// isSyncUnsupported reports errors meaning "this filesystem can't fsync
+// a directory" (EINVAL/ENOTSUP on some network and FUSE filesystems) —
+// not real I/O failures.
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}
+
+// sleep is a seam so tests can observe injected delays without real
+// wall-clock stalls dominating the suite.
+var sleep = time.Sleep

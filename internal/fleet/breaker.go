@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-member circuit breaker, the layer of protection the
+// health prober cannot provide: the prober asks "does /v1/healthz
+// answer?", the breaker asks "do real requests keep failing?". A member
+// whose healthz revives but whose runs still die would otherwise flap —
+// revived by the prober, demoted by the next dispatch, forever. The
+// breaker remembers consecutive hard faults across that cycle and keeps
+// the member out of rotation until a half-open probe request proves it.
+//
+// States: closed (normal) → open after threshold consecutive hard
+// faults; open → half-open when the cooldown expires; half-open admits
+// one trial request (only while the member is idle) — success closes the
+// breaker, failure reopens it with the cooldown doubled (capped).
+type breaker struct {
+	threshold int           // consecutive hard faults to open
+	base      time.Duration // first cooldown
+	max       time.Duration // cooldown cap
+
+	mu        sync.Mutex
+	state     brkState
+	consec    int           // consecutive hard faults while closed
+	cooldown  time.Duration // current open duration
+	openUntil time.Time
+}
+
+type brkState int
+
+const (
+	brkClosed brkState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+func (s brkState) String() string {
+	switch s {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables breaking entirely
+// (returns nil — every method is nil-safe and permissive).
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, base: cooldown, max: 8 * cooldown}
+}
+
+// blocked reports whether the member must be skipped right now. An open
+// breaker whose cooldown has expired transitions to half-open here; a
+// half-open breaker admits a request only while the member is idle
+// (inflight == 0), so exactly one class of trial traffic probes it
+// instead of a thundering herd.
+func (b *breaker) blocked(now time.Time, inflight int64) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return false
+	case brkOpen:
+		if now.Before(b.openUntil) {
+			return true
+		}
+		b.state = brkHalfOpen
+	}
+	return inflight > 0
+}
+
+// success records a request the member answered (including 503 sheds —
+// an overloaded member is alive): the breaker closes and the failure
+// streak and cooldown reset.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = brkClosed
+	b.consec = 0
+	b.cooldown = 0
+	b.mu.Unlock()
+}
+
+// failure records a hard fault (the same class that marks a member
+// down). While closed it counts toward the threshold; a half-open trial
+// failure reopens immediately with the cooldown doubled.
+func (b *breaker) failure(now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkHalfOpen:
+		b.cooldown *= 2
+		if b.cooldown > b.max {
+			b.cooldown = b.max
+		}
+		b.state = brkOpen
+		b.openUntil = now.Add(b.cooldown)
+	case brkClosed:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.state = brkOpen
+			b.cooldown = b.base
+			b.openUntil = now.Add(b.cooldown)
+		}
+	case brkOpen:
+		// A straggling in-flight request failed after the breaker already
+		// opened; the open window stands.
+	}
+}
+
+// status renders the current state for MemberStatus.
+func (b *breaker) status() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"r3dla/internal/lab"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 100*time.Millisecond)
+	now := time.Now()
+
+	if b.blocked(now, 0) {
+		t.Fatal("fresh breaker blocked")
+	}
+	b.failure(now)
+	b.failure(now)
+	if b.blocked(now, 0) {
+		t.Fatal("blocked below the threshold")
+	}
+	b.failure(now) // third consecutive: open
+	if !b.blocked(now, 0) {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if got := b.status(); got != "open" {
+		t.Fatalf("status %q, want open", got)
+	}
+	// Still inside the cooldown.
+	if !b.blocked(now.Add(50*time.Millisecond), 0) {
+		t.Fatal("open breaker admitted a request mid-cooldown")
+	}
+	// Cooldown expired: half-open admits an idle-member trial...
+	later := now.Add(150 * time.Millisecond)
+	if b.blocked(later, 0) {
+		t.Fatal("expired breaker refused the half-open trial")
+	}
+	if got := b.status(); got != "half-open" {
+		t.Fatalf("status %q, want half-open", got)
+	}
+	// ...but not while the member is busy with the trial.
+	if !b.blocked(later, 1) {
+		t.Fatal("half-open admitted a second concurrent request")
+	}
+	// Trial failure reopens with the cooldown doubled.
+	b.failure(later)
+	if !b.blocked(later.Add(150*time.Millisecond), 0) {
+		t.Fatal("reopened breaker should hold for the doubled cooldown")
+	}
+	if b.blocked(later.Add(250*time.Millisecond), 0) {
+		t.Fatal("doubled cooldown never expired")
+	}
+	// Trial success closes and resets everything.
+	b.success()
+	if b.blocked(time.Now(), 5) || b.status() != "closed" {
+		t.Fatal("success did not close the breaker")
+	}
+	// A fresh streak must need the full threshold again.
+	b.failure(now)
+	if b.blocked(now, 0) {
+		t.Fatal("closed breaker reopened below the threshold after reset")
+	}
+}
+
+func TestBreakerCooldownCap(t *testing.T) {
+	b := newBreaker(1, 100*time.Millisecond)
+	now := time.Now()
+	b.failure(now) // open at base
+	for i := 0; i < 10; i++ {
+		now = now.Add(24 * time.Hour) // expire whatever the cooldown is
+		if b.blocked(now, 0) {
+			t.Fatalf("round %d: cooldown never expired", i)
+		}
+		b.failure(now) // half-open trial fails, cooldown doubles
+	}
+	// Cap is 8x base: 800ms later the breaker must be probe-able again.
+	if b.blocked(now.Add(801*time.Millisecond), 0) {
+		t.Fatal("cooldown exceeded its 8x cap")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second)
+	if b != nil {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+	// All methods are nil-safe and permissive.
+	b.failure(time.Now())
+	b.success()
+	if b.blocked(time.Now(), 99) {
+		t.Fatal("nil breaker blocked")
+	}
+	if b.status() != "disabled" {
+		t.Fatalf("nil breaker status %q", b.status())
+	}
+}
+
+// TestPoolBreakerOpensAndRoutesAround: after threshold consecutive hard
+// faults the failing member leaves rotation even though its healthz still
+// answers — the exact flapping case the prober alone cannot fix — and
+// traffic continues on the survivor.
+func TestPoolBreakerOpensAndRoutesAround(t *testing.T) {
+	var sickCalls atomic.Int64
+	sick := &fakeBackend{name: "sick", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		sickCalls.Add(1)
+		return nil, fmt.Errorf("%w: runs broken", ErrBackend)
+	}}
+	// healthz answers fine: the prober would revive this member forever.
+	sick.check = func(ctx context.Context) error { return nil }
+	well := &fakeBackend{name: "well", run: okRun("well")}
+
+	p := newTestPool(t, []Backend{sick, well},
+		WithRetries(4),
+		WithProbeEvery(10*time.Millisecond), // prober aggressively revives
+		WithBreaker(2, time.Hour),           // once open, stays open for the test
+	)
+
+	// Drive requests until the sick member has eaten 2 hard faults. Each
+	// distinct budget is a fresh key; retries land on the survivor so
+	// every request still succeeds. The first fault marks the member down,
+	// so wait out a prober cycle between requests — each healthz revival
+	// sets up the next fault, exactly the flapping under test.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; sickCalls.Load() < 2 && time.Now().Before(deadline); i++ {
+		if _, err := p.Run(context.Background(), testReq(uint64(1000+i))); err != nil {
+			t.Fatalf("request %d failed despite a healthy survivor: %v", i, err)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if sickCalls.Load() < 2 {
+		t.Fatalf("sick member saw only %d calls; cannot open the breaker", sickCalls.Load())
+	}
+
+	// Give the prober time to "revive" the sick member via healthz...
+	time.Sleep(50 * time.Millisecond)
+	before := sickCalls.Load()
+	// ...then send more traffic: the open breaker must keep it drained.
+	for i := 0; i < 10; i++ {
+		if _, err := p.Run(context.Background(), testReq(uint64(2000+i))); err != nil {
+			t.Fatalf("request with open breaker failed: %v", err)
+		}
+	}
+	if got := sickCalls.Load(); got != before {
+		t.Fatalf("open breaker leaked %d calls to the broken member", got-before)
+	}
+	for _, st := range p.Status() {
+		if st.Name == "sick" && st.Breaker != "open" {
+			t.Fatalf("sick member breaker %q, want open", st.Breaker)
+		}
+		if st.Name == "well" && st.Breaker != "closed" {
+			t.Fatalf("well member breaker %q, want closed", st.Breaker)
+		}
+	}
+}
+
+// TestPoolBreakerHalfOpenRecovery: when the cooldown expires, one trial
+// request reaches the member; a success closes the breaker and restores
+// full routing.
+func TestPoolBreakerHalfOpenRecovery(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var calls atomic.Int64
+	flaky := &fakeBackend{name: "flaky", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		calls.Add(1)
+		if fail.Load() {
+			return nil, fmt.Errorf("%w: down", ErrBackend)
+		}
+		return okRun("flaky")(ctx, req)
+	}}
+	other := &fakeBackend{name: "other", run: okRun("other")}
+	p := newTestPool(t, []Backend{flaky, other},
+		WithRetries(4),
+		WithProbeEvery(10*time.Millisecond),
+		WithBreaker(1, 30*time.Millisecond),
+	)
+
+	// One hard fault opens the breaker (threshold 1).
+	for i := 0; calls.Load() == 0 && i < 20; i++ {
+		if _, err := p.Run(context.Background(), testReq(uint64(3000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() == 0 {
+		t.Fatal("flaky member never saw traffic")
+	}
+
+	// Heal the backend, let the cooldown lapse, and keep sending: the
+	// half-open trial must land, succeed, and close the breaker.
+	fail.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	recovered := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		if _, err := p.Run(context.Background(), testReq(uint64(4000+i))); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range p.Status() {
+			if st.Name == "flaky" && st.Breaker == "closed" && st.Healthy {
+				recovered = true
+			}
+		}
+		if recovered {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("breaker never closed after the backend healed")
+	}
+}
+
+// TestPoolBreakerIgnores503: overload sheds are answers, not faults — a
+// member that sheds every request must never trip its breaker (it is
+// alive and will drain).
+func TestPoolBreakerIgnores503(t *testing.T) {
+	shedder := &fakeBackend{name: "shedder", run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+		return nil, fmt.Errorf("%w: full", ErrOverloaded)
+	}}
+	worker := &fakeBackend{name: "worker", run: okRun("worker")}
+	p := newTestPool(t, []Backend{shedder, worker}, WithBreaker(1, time.Hour))
+
+	for i := 0; i < 10; i++ {
+		if _, err := p.Run(context.Background(), testReq(uint64(5000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range p.Status() {
+		if st.Name == "shedder" && (st.Breaker != "closed" || !st.Healthy) {
+			t.Fatalf("shedding member: breaker=%q healthy=%v, want closed+healthy", st.Breaker, st.Healthy)
+		}
+	}
+}
+
+// TestPoolBreakerFallbackWhenAllOpen: with every breaker open the pool
+// falls back to trying a broken member rather than refusing outright —
+// an error from a real attempt beats a synthetic ErrNoBackends.
+func TestPoolBreakerFallbackWhenAllOpen(t *testing.T) {
+	mkBroken := func(name string) *fakeBackend {
+		return &fakeBackend{name: name, run: func(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+			return nil, fmt.Errorf("%w: %s broken", ErrBackend, name)
+		}}
+	}
+	p := newTestPool(t, []Backend{mkBroken("a"), mkBroken("b")},
+		WithRetries(2), WithBreaker(1, time.Hour))
+
+	// First request trips both breakers (one per retry attempt).
+	if _, err := p.Run(context.Background(), testReq(6000)); err == nil {
+		t.Fatal("all-broken pool succeeded")
+	}
+	// Later requests still produce a real backend error, not ErrNoBackends.
+	_, err := p.Run(context.Background(), testReq(6001))
+	if err == nil {
+		t.Fatal("all-broken pool succeeded")
+	}
+	if errors.Is(err, ErrNoBackends) {
+		t.Fatalf("open breakers caused %v; want a real attempt's error", err)
+	}
+	if !errors.Is(err, ErrBackend) {
+		t.Fatalf("fallback attempt error %v, want ErrBackend", err)
+	}
+}

@@ -37,6 +37,8 @@ type Pool struct {
 	probeTimeout time.Duration
 	maxBackoff   time.Duration
 	jobs         chan struct{} // total-dispatch semaphore; nil = unlimited
+	brkThreshold int           // consecutive hard faults to open a member's breaker (0 = disabled)
+	brkCooldown  time.Duration // first open window (0 = probeEvery)
 
 	mu      sync.Mutex
 	results map[string]*lab.RunResult
@@ -55,6 +57,7 @@ type member struct {
 	inflight atomic.Int64 // requests this pool currently has on the member
 	load     atomic.Int64 // server-reported inflight at the last stats probe
 	healthy  atomic.Bool
+	brk      *breaker // consecutive-failure circuit breaker (nil = disabled)
 
 	mu        sync.Mutex
 	backoff   time.Duration
@@ -120,6 +123,23 @@ func WithJobs(n int) PoolOption {
 	}
 }
 
+// WithBreaker tunes the per-member circuit breaker: threshold
+// consecutive hard faults open a member's breaker for cooldown, after
+// which one idle-time trial request decides between closing it and
+// doubling the cooldown. threshold <= 0 disables breaking; cooldown <= 0
+// defaults to the probe cadence. The default is threshold 5.
+//
+// The breaker composes with (not replaces) the health prober: the
+// prober's healthz revival restores routing eligibility, but a member
+// whose healthz answers while its runs keep failing stays broken until a
+// real request survives — no flapping between the two signals.
+func WithBreaker(threshold int, cooldown time.Duration) PoolOption {
+	return func(p *Pool) {
+		p.brkThreshold = threshold
+		p.brkCooldown = cooldown
+	}
+}
+
 // NewPool builds a router over the given backends and starts its health
 // prober. Members start healthy (the first failed dispatch demotes them);
 // Close stops the prober and closes every backend.
@@ -131,6 +151,7 @@ func NewPool(backends []Backend, opts ...PoolOption) (*Pool, error) {
 		retries:      3,
 		probeEvery:   5 * time.Second,
 		probeTimeout: 3 * time.Second,
+		brkThreshold: 5,
 		results:      make(map[string]*lab.RunResult),
 		calls:        make(map[string]*flight),
 		stop:         make(chan struct{}),
@@ -144,6 +165,13 @@ func NewPool(backends []Backend, opts ...PoolOption) (*Pool, error) {
 		o(p)
 	}
 	p.maxBackoff = 8 * p.probeEvery
+	cooldown := p.brkCooldown
+	if cooldown <= 0 {
+		cooldown = p.probeEvery
+	}
+	for _, m := range p.members {
+		m.brk = newBreaker(p.brkThreshold, cooldown)
+	}
 	p.wg.Add(1)
 	go p.prober()
 	return p, nil
@@ -176,13 +204,17 @@ type MemberStatus struct {
 	Name     string
 	Healthy  bool
 	Inflight int64
+	Breaker  string // "closed", "open", "half-open", or "disabled"
 }
 
 // Status snapshots every member's routing state in construction order.
 func (p *Pool) Status() []MemberStatus {
 	out := make([]MemberStatus, len(p.members))
 	for i, m := range p.members {
-		out[i] = MemberStatus{Name: m.b.Name(), Healthy: m.healthy.Load(), Inflight: m.inflight.Load()}
+		out[i] = MemberStatus{
+			Name: m.b.Name(), Healthy: m.healthy.Load(),
+			Inflight: m.inflight.Load(), Breaker: m.brk.status(),
+		}
 	}
 	return out
 }
@@ -306,7 +338,7 @@ func dispatch[T any](ctx context.Context, p *Pool, key string, call func(context
 			return zero, ctx.Err()
 		}
 	}
-	excluded := make(map[*member]bool) // hard faults: never retried here
+	excluded := make(map[*member]bool) // hard faults: avoided; re-offered with backoff while attempts remain
 	shedding := make(map[*member]bool) // overloaded: avoided, then re-offered
 	var lastErr error
 	rounds, wait := 0, overloadWait
@@ -326,7 +358,21 @@ func dispatch[T any](ctx context.Context, p *Pool, key string, call func(context
 		}
 		m := p.pickKeyed(key, avoid)
 		if m == nil {
-			if len(shedding) == 0 || rounds >= overloadRounds {
+			reoffer := false
+			switch {
+			case len(shedding) > 0 && rounds < overloadRounds:
+				reoffer = true
+			case len(excluded) > 0 && attempt < p.retries:
+				// Every candidate hard-faulted during this dispatch, but
+				// retry budget remains: a reset connection or a restarting
+				// backend is transient, not terminal. Re-offer the excluded
+				// members after the same backoff rather than failing a
+				// request the fleet could still serve. Termination holds —
+				// each hard fault consumes an attempt, so this path runs at
+				// most p.retries times.
+				reoffer = true
+			}
+			if !reoffer {
 				break
 			}
 			rounds++
@@ -339,6 +385,7 @@ func dispatch[T any](ctx context.Context, p *Pool, key string, call func(context
 				wait = overloadWaitMax
 			}
 			clear(shedding) // re-offer everyone; capacity may have freed
+			clear(excluded)
 			continue
 		}
 		res, fails := hedged(ctx, p, m, avoid, call, attempt == 0)
@@ -375,8 +422,15 @@ func runMember[T any](ctx context.Context, p *Pool, m *member, call func(context
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
 	res, err := call(ctx, m)
-	if err != nil && Retryable(err) && !errors.Is(err, ErrOverloaded) {
+	switch {
+	case err != nil && Retryable(err) && !errors.Is(err, ErrOverloaded):
+		// A hard fault feeds both recovery tracks: the prober owns
+		// liveness, the breaker owns consecutive-failure streaks.
 		p.markDown(m, err)
+		m.brk.failure(time.Now())
+	case err == nil || errors.Is(err, ErrOverloaded):
+		// The member answered (a 503 shed is an answer); the streak ends.
+		m.brk.success()
 	}
 	return res, err
 }
@@ -474,10 +528,11 @@ func (p *Pool) pickKeyed(key string, excluded map[*member]bool) *member {
 	if best == nil || key == "" {
 		return best
 	}
+	now := time.Now()
 	var aff *member
 	var affScore uint64
 	for _, m := range p.members {
-		if excluded[m] || !m.healthy.Load() {
+		if excluded[m] || !m.healthy.Load() || m.brk.blocked(now, m.inflight.Load()) {
 			continue
 		}
 		if score := rendezvousScore(key, m.b.Name()); aff == nil || score > affScore {
@@ -519,6 +574,7 @@ func (p *Pool) pick(excluded map[*member]bool) *member {
 }
 
 func (p *Pool) pickFrom(excluded map[*member]bool, needHealthy bool) *member {
+	now := time.Now()
 	var best *member
 	var bestIn, bestLoad int64
 	for _, m := range p.members {
@@ -526,6 +582,12 @@ func (p *Pool) pickFrom(excluded map[*member]bool, needHealthy bool) *member {
 			continue
 		}
 		in, load := m.inflight.Load(), m.load.Load()
+		// An open breaker vetoes the member on the healthy pass only: the
+		// unproven fallback (everything else excluded or down) may still
+		// try it — failing fast there beats failing with ErrNoBackends.
+		if needHealthy && m.brk.blocked(now, in) {
+			continue
+		}
 		if best == nil || in < bestIn || (in == bestIn && load < bestLoad) {
 			best, bestIn, bestLoad = m, in, load
 		}

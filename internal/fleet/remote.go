@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"r3dla/internal/faultinject"
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
 )
@@ -27,16 +28,27 @@ type Remote struct {
 	name     string
 	base     string // http://host:port, no trailing slash
 	hc       *http.Client
-	timeout  time.Duration // per-request cap; 0 = none (simulations can be long)
-	priority string        // admission class sent with every request ("" = server default)
+	owned    *http.Transport // the transport this Remote built (nil if the client was borrowed)
+	timeout  time.Duration   // per-request cap; 0 = none (simulations can be long)
+	priority string          // admission class sent with every request ("" = server default)
+	faults   *faultinject.Plane
 }
 
 // RemoteOption configures a Remote.
 type RemoteOption func(*Remote)
 
 // WithHTTPClient substitutes the HTTP client (tests, custom transports).
+// The Remote borrows it: Close will not tear down its connections.
 func WithHTTPClient(hc *http.Client) RemoteOption {
-	return func(r *Remote) { r.hc = hc }
+	return func(r *Remote) { r.hc, r.owned = hc, nil }
+}
+
+// WithFaults threads a fault-injection plane into the Remote's transport
+// (chaos testing only): connect errors, latency spikes and mid-stream
+// body cuts, all seed-deterministic. The wrap clones the client struct,
+// so a shared client is never mutated.
+func WithFaults(p *faultinject.Plane) RemoteOption {
+	return func(r *Remote) { r.faults = p }
 }
 
 // WithRequestTimeout caps each request's total duration; on expiry the
@@ -66,17 +78,35 @@ func NewRemote(addr string, opts ...RemoteOption) (*Remote, error) {
 	if err != nil || u.Host == "" {
 		return nil, fmt.Errorf("%w: backend address %q", lab.ErrInvalid, addr)
 	}
-	r := &Remote{name: addr, base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	tr := newTransport()
+	r := &Remote{name: addr, base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: tr}, owned: tr}
 	for _, o := range opts {
 		o(r)
+	}
+	if r.faults != nil {
+		// Clone the client so a borrowed one is never mutated; the fault
+		// wrapper sits in front of whatever transport the client uses.
+		base := r.hc.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		hc := *r.hc
+		hc.Transport = &faultTransport{base: base, plane: r.faults}
+		r.hc = &hc
 	}
 	return r, nil
 }
 
 func (r *Remote) Name() string { return r.name }
 
-// Close is a no-op: the Remote borrows its HTTP client.
-func (r *Remote) Close() error { return nil }
+// Close releases the Remote's own transport's idle connections; a client
+// supplied via WithHTTPClient is borrowed and left untouched.
+func (r *Remote) Close() error {
+	if r.owned != nil {
+		r.owned.CloseIdleConnections()
+	}
+	return nil
+}
 
 // reqCtx applies the per-request timeout on top of the caller's context.
 func (r *Remote) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -165,6 +195,16 @@ func (r *Remote) readStream(ctx context.Context, body io.Reader, out any, onLine
 	for sc.Scan() {
 		var line streamLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			// A connection cut mid-line arrives as a partial trailing
+			// token: that is a died-backend signal (retryable), not a
+			// protocol violation. Only a malformed line with more data
+			// behind it means the backend is actually speaking garbage.
+			if !sc.Scan() {
+				if serr := sc.Err(); serr != nil {
+					return r.wrapNetErr(ctx, serr)
+				}
+				return fmt.Errorf("%w: %s: stream cut mid-line", ErrUnavailable, r.name)
+			}
 			return fmt.Errorf("%w: %s: malformed stream line: %v", ErrBackend, r.name, err)
 		}
 		switch line.Event {

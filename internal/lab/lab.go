@@ -11,6 +11,7 @@ import (
 	"r3dla/internal/emu"
 	"r3dla/internal/energy"
 	"r3dla/internal/exp"
+	"r3dla/internal/faultinject"
 	"r3dla/internal/isa"
 	"r3dla/internal/pipeline"
 	"r3dla/internal/prepcache"
@@ -47,6 +48,12 @@ type Lab struct {
 	// WithBudget doesn't silently overwrite it (options are
 	// order-independent).
 	trainSet bool
+
+	// prep and faults are recorded during option processing and wired
+	// together in New after all options ran, so WithFaults and
+	// WithPrepCache compose in either order.
+	prep   *prepcache.Cache
+	faults *faultinject.Plane
 }
 
 // ClientOption configures a Lab at construction.
@@ -104,6 +111,17 @@ func WithPrepCache(dir string) ClientOption {
 			return err
 		}
 		l.c.Cache = pc
+		l.prep = pc
+		return nil
+	}
+}
+
+// WithFaults arms a fault-injection plane on the Lab's durable layers
+// (currently the prep cache, when one is configured). A nil plane is a
+// no-op; production Labs never pay for the hook.
+func WithFaults(p *faultinject.Plane) ClientOption {
+	return func(l *Lab) error {
+		l.faults = p
 		return nil
 	}
 }
@@ -124,6 +142,9 @@ func New(opts ...ClientOption) (*Lab, error) {
 		if err := o(l); err != nil {
 			return nil, err
 		}
+	}
+	if l.faults != nil {
+		l.prep.SetFaults(l.faults)
 	}
 	return l, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"r3dla/internal/faultinject"
 	"r3dla/internal/resultstore"
 	"r3dla/internal/workloads"
 )
@@ -82,6 +83,8 @@ type Server struct {
 
 	store *resultstore.Store // persistent result tier (nil = off)
 
+	faults *faultinject.Plane // injection plane for chaos runs (nil = off)
+
 	// Cross-client coalescing: at most one simulation per run key is in
 	// flight server-wide.
 	flightMu  sync.Mutex
@@ -126,6 +129,15 @@ func WithMaxInflight(n int) ServerOption {
 			s.reserve = 1
 		}
 	}
+}
+
+// WithServerFaults arms a fault-injection plane on the request path: an
+// armed faultinject.ServerRun policy makes POST /v1/runs stall (Delay)
+// or shed with 503 (Error) before touching the store or admission — the
+// degraded-backend behaviors the fleet's breaker and retry machinery
+// must absorb. A nil plane is a no-op.
+func WithServerFaults(p *faultinject.Plane) ServerOption {
+	return func(s *Server) { s.faults = p }
 }
 
 // WithResultStore attaches a persistent result store: finished /v1/runs
@@ -394,13 +406,13 @@ type ClassStats struct {
 // admission control sheds to 503. `?format=prometheus` (or GET /metrics)
 // renders the same counters in Prometheus text format.
 type Stats struct {
-	Inflight    int64             `json:"inflight"`   // simulation requests currently admitted
-	Capacity    int               `json:"capacity"`   // admission bound (0 = unlimited)
-	MaxBudget   uint64            `json:"max_budget"` // per-request budget cap (0 = unlimited)
-	Budget      uint64            `json:"budget"`     // default per-run budget
-	Completed   int64             `json:"completed"`  // requests answered successfully
-	Canceled    int64             `json:"canceled"`   // requests whose client went away
-	Runs        int               `json:"runs"`       // simulations actually executed (cache misses)
+	Inflight    int64             `json:"inflight"`          // simulation requests currently admitted
+	Capacity    int               `json:"capacity"`          // admission bound (0 = unlimited)
+	MaxBudget   uint64            `json:"max_budget"`        // per-request budget cap (0 = unlimited)
+	Budget      uint64            `json:"budget"`            // default per-run budget
+	Completed   int64             `json:"completed"`         // requests answered successfully
+	Canceled    int64             `json:"canceled"`          // requests whose client went away
+	Runs        int               `json:"runs"`              // simulations actually executed (cache misses)
 	Coalesced   int64             `json:"coalesced_waiters"` // requests that shared another request's simulation
 	Interactive ClassStats        `json:"interactive"`
 	Batch       ClassStats        `json:"batch"`
@@ -487,6 +499,28 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.faults != nil {
+		o := s.faults.At(faultinject.ServerRun)
+		if o.Delay > 0 {
+			// A slow backend, not a dead one: stall the whole response
+			// (clients see a latency spike) but respect disconnects.
+			t := time.NewTimer(o.Delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			}
+		}
+		if o.Err != nil {
+			// Shed exactly like admission does, so clients exercise their
+			// normal 503 backpressure path (fleet maps it to ErrOverloaded).
+			s.classes[requestClass(r)].shed.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("injected shed: %v", o.Err))
+			return
+		}
+	}
 	var req RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()

@@ -1,0 +1,78 @@
+package prepcache
+
+import (
+	"errors"
+	"testing"
+
+	"r3dla/internal/faultinject"
+)
+
+// A torn Store — crash before the durable write completes — must leave
+// the cache answering with a silent miss, so the caller regenerates.
+func TestTornStoreLoadsAsMiss(t *testing.T) {
+	f := prepFixture(t)
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultinject.New(41)
+	p.MustArm(faultinject.Policy{Point: faultinject.PrepCacheStore, Mode: faultinject.Torn, Limit: 1})
+	c.SetFaults(p)
+
+	if err := c.Store(testKey, f.train, f.eval, f.prof, f.set); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn Store returned %v, want ErrInjected", err)
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); ok {
+		t.Fatal("torn entry served a hit")
+	}
+	// Limit spent: the retry repairs the entry.
+	if err := c.Store(testKey, f.train, f.eval, f.prof, f.set); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); !ok {
+		t.Fatal("repaired entry still misses")
+	}
+}
+
+// Silent corruption on Store (reported as success) must be caught by the
+// checksum on Load.
+func TestCorruptStoreCaughtOnLoad(t *testing.T) {
+	f := prepFixture(t)
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultinject.New(42)
+	p.MustArm(faultinject.Policy{Point: faultinject.PrepCacheStore, Mode: faultinject.Corrupt, Limit: 1})
+	c.SetFaults(p)
+
+	if err := c.Store(testKey, f.train, f.eval, f.prof, f.set); err != nil {
+		t.Fatalf("corrupt Store should report success, got %v", err)
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); ok {
+		t.Fatal("corrupted entry served a hit")
+	}
+}
+
+// An injected Load fault is a miss, never an error, and leaves the
+// underlying entry intact.
+func TestInjectedLoadFaultIsMiss(t *testing.T) {
+	c, f := storeFixture(t)
+	p := faultinject.New(43)
+	p.MustArm(faultinject.Policy{Point: faultinject.PrepCacheLoad, Mode: faultinject.Error, Limit: 1})
+	c.SetFaults(p)
+
+	if _, _, ok := c.Load(testKey, f.train, f.eval); ok {
+		t.Fatal("injected read fault served a hit")
+	}
+	if _, _, ok := c.Load(testKey, f.train, f.eval); !ok {
+		t.Fatal("entry damaged by an injected read fault")
+	}
+}
+
+// SetFaults on a nil cache is a no-op, so callers forward planes without
+// caring whether a prep cache is configured.
+func TestSetFaultsNilReceiver(t *testing.T) {
+	var c *Cache
+	c.SetFaults(faultinject.New(1)) // must not panic
+}

@@ -21,8 +21,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"r3dla/internal/atomicio"
 	"r3dla/internal/core"
+	"r3dla/internal/faultinject"
 	"r3dla/internal/isa"
 )
 
@@ -38,7 +41,8 @@ var magic = [4]byte{'R', '3', 'P', 'C'}
 // goroutines and processes: writes are atomic renames and readers only
 // ever observe complete files.
 type Cache struct {
-	dir string
+	dir    string
+	faults *faultinject.Plane // nil in production; Load/Store fault gates
 }
 
 // New opens (creating if needed) a prep cache rooted at dir.
@@ -54,6 +58,15 @@ func New(dir string) (*Cache, error) {
 
 // Dir reports the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetFaults attaches a fault-injection plane (nil detaches). Chaos-only:
+// call before the cache sees traffic. Nil-receiver-safe so callers can
+// forward without a cache configured.
+func (c *Cache) SetFaults(p *faultinject.Plane) {
+	if c != nil {
+		c.faults = p
+	}
+}
 
 // payload is the gob-serialized body of an entry. Set.Prog is stripped
 // before encoding (the program is rebuilt by the caller and reattached on
@@ -132,26 +145,10 @@ func (c *Cache) Store(key string, train, eval *isa.Program, prof *core.Profile, 
 	f.Write(u64[:])
 	f.Write(body.Bytes())
 
-	// The temp name embeds the writer's pid: CreateTemp already opens
-	// O_EXCL, but its random suffix is process-local state, so two
-	// processes sharing one cache directory (several r3dlad instances on
-	// a host) must not be able to contend on the same temp path.
-	tmp, err := os.CreateTemp(c.dir, fmt.Sprintf(".tmp-%d-*", os.Getpid()))
-	if err != nil {
-		return fmt.Errorf("prepcache: %w", err)
-	}
-	if _, err := tmp.Write(f.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	// atomicio carries the full durability ceremony: pid-unique temp file,
+	// fsync before rename, parent-directory fsync after.
+	if err := atomicio.WriteFile(c.path(key), f.Bytes(), 0o644, c.faults, faultinject.PrepCacheStore); err != nil {
 		return fmt.Errorf("prepcache: write %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("prepcache: close %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("prepcache: rename %s: %w", key, err)
 	}
 	return nil
 }
@@ -162,6 +159,15 @@ func (c *Cache) Store(key string, train, eval *isa.Program, prof *core.Profile, 
 // — is a miss (ok=false), signaling the caller to regenerate. On a hit the
 // returned Set has eval reattached as its Prog.
 func (c *Cache) Load(key string, train, eval *isa.Program) (prof *core.Profile, set *core.Set, ok bool) {
+	if c.faults != nil {
+		o := c.faults.At(faultinject.PrepCacheLoad)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return nil, nil, false // injected read fault = silent miss
+		}
+	}
 	raw, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, nil, false

@@ -34,6 +34,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"r3dla/internal/atomicio"
+	"r3dla/internal/faultinject"
 )
 
 // Version is the on-disk format version; bumping it orphans (and thereby
@@ -60,9 +63,10 @@ type Stats struct {
 // Store is a directory of result entries plus an in-memory LRU index.
 // The zero value is not usable; call Open.
 type Store struct {
-	dir string
-	fp  uint64 // caller's fingerprint, folded into every entry header
-	max int    // entry bound (0 = unlimited)
+	dir    string
+	fp     uint64             // caller's fingerprint, folded into every entry header
+	max    int                // entry bound (0 = unlimited)
+	faults *faultinject.Plane // nil in production; Get/Put fault gates
 
 	mu      sync.Mutex
 	order   []string // keys, least-recently-used first
@@ -95,6 +99,10 @@ func Open(dir string, fingerprint uint64, maxEntries int) (*Store, error) {
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetFaults attaches a fault-injection plane (nil detaches). Chaos-only:
+// call before the store sees traffic.
+func (s *Store) SetFaults(p *faultinject.Plane) { s.faults = p }
 
 // Len reports the live entry count.
 func (s *Store) Len() int {
@@ -265,6 +273,20 @@ func (s *Store) decode(raw []byte, key string) ([]byte, bool) {
 // entry's recency (in memory and, best-effort, the file mtime, so LRU
 // order survives restarts).
 func (s *Store) Get(key string) ([]byte, bool) {
+	if s.faults != nil {
+		o := s.faults.At(faultinject.ResultStoreGet)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			// An injected read fault is the same silent miss a damaged
+			// frame would be — the caller regenerates.
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			return nil, false
+		}
+	}
 	path := s.path(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -290,29 +312,14 @@ func (s *Store) Get(key string) ([]byte, bool) {
 
 // Put stores payload under key (overwriting any previous entry) and
 // evicts least-recently-used entries beyond the bound. The write is
-// atomic: concurrent readers — in this process or another sharing the
-// directory — see either the old entry or the new one, never a torn file.
+// atomic and durable: temp file + fsync + rename + parent-directory
+// fsync, so concurrent readers — in this process or another sharing the
+// directory — see either the old entry or the new one, never a torn
+// file, and a power loss after Put returns cannot roll the entry back.
 func (s *Store) Put(key string, payload []byte) error {
 	framed := s.encode(key, payload)
-	// The temp pattern embeds the pid, so two processes sharing the
-	// directory can never collide on a temp name even across CreateTemp's
-	// random-suffix space.
-	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf(".tmp-%d-*", os.Getpid()))
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err := tmp.Write(framed); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteFile(s.path(key), framed, 0o644, s.faults, faultinject.ResultStorePut); err != nil {
 		return fmt.Errorf("resultstore: write %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: close %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: rename %s: %w", key, err)
 	}
 	s.mu.Lock()
 	s.puts++

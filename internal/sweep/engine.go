@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"r3dla/internal/faultinject"
 	"r3dla/internal/lab"
 )
 
@@ -33,6 +34,15 @@ type Options struct {
 	// Progress, when non-nil, receives an Event per completed cell. It
 	// may be called from multiple goroutines and must be safe for that.
 	Progress func(Event)
+
+	// Warn, when non-nil, receives human-readable notices about damage
+	// the engine absorbed (quarantined journal lines). Never required
+	// for correctness.
+	Warn func(format string, args ...any)
+
+	// Faults, when non-nil, threads a fault-injection plane through the
+	// journal (chaos testing only; nil in production).
+	Faults *faultinject.Plane
 }
 
 // Result is a completed sweep: the expanded cells in deterministic
@@ -43,6 +53,10 @@ type Result struct {
 	Spec    Spec         `json:"spec"`
 	Cells   []CellResult `json:"cells"`
 	Resumed int          `json:"resumed"` // cells restored from the journal
+	// Quarantined counts damaged journal lines moved to the quarantine
+	// file on resume; their cells re-ran, so the output is still
+	// byte-identical to an uninterrupted sweep.
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // CellResult pairs one cell with its simulation outcome.
@@ -92,14 +106,30 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 	}
 
 	journaled := map[string]*lab.RunResult{}
+	quarantined := 0
 	if opts.Resume {
-		if journaled, err = loadJournal(opts.Journal); err != nil {
+		lj, err := loadJournal(opts.Journal, opts.Faults)
+		if err != nil {
 			return nil, err
+		}
+		journaled = lj.results
+		if len(lj.bad) > 0 {
+			// Damaged lines are moved aside, not silently dropped: the
+			// journal is rewritten with only intact lines and the cells
+			// behind the damage re-run below.
+			if err := quarantine(opts.Journal, lj); err != nil {
+				return nil, err
+			}
+			quarantined = len(lj.bad)
+			if opts.Warn != nil {
+				opts.Warn("sweep: quarantined %d damaged journal line(s) to %s; affected cells will re-run",
+					quarantined, opts.Journal+quarantineExt)
+			}
 		}
 	}
 	var jw *journalWriter
 	if opts.Journal != "" {
-		if jw, err = openJournal(opts.Journal); err != nil {
+		if jw, err = openJournal(opts.Journal, opts.Faults); err != nil {
 			return nil, err
 		}
 		defer jw.close()
@@ -111,7 +141,7 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	res := &Result{Spec: spec, Cells: make([]CellResult, len(cells))}
+	res := &Result{Spec: spec, Cells: make([]CellResult, len(cells)), Quarantined: quarantined}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex // guards done, firstErr and Progress ordering

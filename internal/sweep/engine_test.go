@@ -94,10 +94,11 @@ func TestSweepJournalAndResume(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted sweep error: %v", err)
 	}
-	chk, err := loadJournal(journal)
+	lj, err := loadJournal(journal, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	chk := lj.results
 	if len(chk) < 2 {
 		t.Fatalf("journal has %d cells, want >= 2", len(chk))
 	}
