@@ -41,6 +41,7 @@ func runExplore(args []string) {
 		versions  = fs.String("version", "", "fixed skeleton version axis: comma-separated ints")
 		cores     = fs.String("cores", "", "core-model axis: comma-separated default,wide,half")
 		budget    = fs.Uint64("budget", 150_000, "full-fidelity committed instructions per cell")
+		fidelity  = fs.String("fidelity", "", "evaluation fidelity: cycle (default), analytic, mc, or ladder (analytic -> mc -> cycle)")
 		strategy  = fs.String("strategy", dse.StrategyPareto, "search strategy: random, lhs, halving, pareto")
 		sampler   = fs.String("sampler", "", "candidate sampler for halving/pareto: random, lhs (default random)")
 		seed      = fs.Int64("seed", 1, "exploration seed; equal seeds give byte-identical output")
@@ -94,6 +95,7 @@ func runExplore(args []string) {
 	}
 	mergeSearchFlags(&spec, searchFlags{
 		budget:    *budget,
+		fidelity:  *fidelity,
 		strategy:  *strategy,
 		sampler:   *sampler,
 		seed:      *seed,
@@ -120,8 +122,20 @@ func runExplore(args []string) {
 	// Lab or a fleet pool over r3dlad backends. Journal and sampler state
 	// both live on this side of the boundary, so a distributed exploration
 	// checkpoints, resumes and byte-matches a local one.
-	var runner sweep.Runner
+	var (
+		runner  sweep.Runner
+		tierLab *lab.Lab // local lab the estimator tiers calibrate against
+	)
 	if *backends != "" {
+		// Backends simulate cycle-accurately; a whole-search estimator
+		// fidelity is local math and gains nothing from a fleet. A ladder's
+		// estimator rungs likewise run locally — only its cycle-accurate
+		// finalists go to the backends.
+		if tr, err := sweep.TierOf(spec.Space.Fidelity); err != nil {
+			fatalf("%v", err)
+		} else if tr != sweep.TierCycle {
+			fatalf("-fidelity %s runs locally; drop -backends", spec.Space.Fidelity)
+		}
 		// Exploration cells are bulk traffic: batch priority keeps them
 		// from starving interactive runs sharing the same fleet.
 		remotes, err := parseBackends(*backends, fleet.WithPriority(lab.PriorityBatch))
@@ -137,15 +151,33 @@ func runExplore(args []string) {
 		}
 		defer pool.Close()
 		runner = pool
+		if spec.Fidelity == dse.FidelityLadder {
+			if tierLab, err = lab.New(lab.WithBudget(spec.Space.Budget), lab.WithJobs(*jobs)); err != nil {
+				fatalf("%v", err)
+			}
+		}
 	} else {
 		l, err := lab.New(lab.WithBudget(spec.Space.Budget), lab.WithJobs(*jobs))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		runner = l
+		tiers := &sweep.TierRunners{Lab: l}
+		if runner, err = tiers.Runner(spec.Space.Fidelity, spec.Space.Budget, uint64(spec.Seed)); err != nil {
+			fatalf("%v", err)
+		}
+		tierLab = l
 	}
 
 	opts := dse.Options{Journal: *journal, Resume: *resume}
+	if spec.Fidelity == dse.FidelityLadder {
+		tiers := &sweep.TierRunners{Lab: tierLab}
+		analytic, aerr := tiers.Runner(sweep.TierAnalytic, spec.Space.Budget, uint64(spec.Seed))
+		mc, merr := tiers.Runner(sweep.TierMC, spec.Space.Budget, uint64(spec.Seed))
+		if aerr != nil || merr != nil {
+			fatalf("fidelity ladder tiers unavailable")
+		}
+		opts.Tiers = &dse.Tiers{Analytic: analytic, MC: mc}
+	}
 	if !*quiet {
 		opts.Progress = func(ev sweep.Event) {
 			state := ev.Elapsed.Round(time.Millisecond).String()
@@ -189,6 +221,7 @@ func runExplore(args []string) {
 // mergeSearchFlags so it is testable without a FlagSet.
 type searchFlags struct {
 	budget    uint64
+	fidelity  string
 	strategy  string
 	sampler   string
 	seed      int64
@@ -228,5 +261,19 @@ func mergeSearchFlags(spec *dse.Spec, f searchFlags, set map[string]bool) {
 	}
 	if set["min-budget"] || spec.MinBudget == 0 {
 		spec.MinBudget = f.minBudget
+	}
+	// -fidelity routes by value: "ladder" is an exploration mode
+	// (Spec.Fidelity), while an estimator name runs the whole search on
+	// that tier (Space.Fidelity, validated downstream). An explicit flag
+	// replaces whatever the spec file said on both fields.
+	if set["fidelity"] {
+		spec.Fidelity, spec.Space.Fidelity = "", ""
+		switch f.fidelity {
+		case "", "cycle":
+		case dse.FidelityLadder:
+			spec.Fidelity = dse.FidelityLadder
+		default:
+			spec.Space.Fidelity = f.fidelity
+		}
 	}
 }

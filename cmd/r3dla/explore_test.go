@@ -101,6 +101,49 @@ func TestMergeSearchFlags(t *testing.T) {
 			set:   map[string]bool{},
 			want:  specFile(),
 		},
+		{
+			name: "-fidelity ladder sets the exploration mode",
+			spec: specFile(),
+			flags: searchFlags{
+				budget: defaults.budget, strategy: defaults.strategy,
+				seed: defaults.seed, fidelity: dse.FidelityLadder,
+			},
+			set: map[string]bool{"fidelity": true},
+			want: func() dse.Spec {
+				s := specFile()
+				s.Fidelity = dse.FidelityLadder
+				return s
+			}(),
+		},
+		{
+			name: "-fidelity analytic runs the whole space on the estimator",
+			spec: specFile(),
+			flags: searchFlags{
+				budget: defaults.budget, strategy: defaults.strategy,
+				seed: defaults.seed, fidelity: sweep.TierAnalytic,
+			},
+			set: map[string]bool{"fidelity": true},
+			want: func() dse.Spec {
+				s := specFile()
+				s.Space.Fidelity = sweep.TierAnalytic
+				return s
+			}(),
+		},
+		{
+			name: "-fidelity cycle overrides a spec file's ladder",
+			spec: func() dse.Spec {
+				s := specFile()
+				s.Fidelity = dse.FidelityLadder
+				s.Space.Fidelity = sweep.TierMC
+				return s
+			}(),
+			flags: searchFlags{
+				budget: defaults.budget, strategy: defaults.strategy,
+				seed: defaults.seed, fidelity: "cycle",
+			},
+			set:  map[string]bool{"fidelity": true},
+			want: specFile(),
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

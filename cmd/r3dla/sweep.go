@@ -38,6 +38,7 @@ func runSweep(args []string) {
 		versions  = fs.String("version", "", "fixed skeleton version axis: comma-separated ints")
 		cores     = fs.String("cores", "", "core-model axis: comma-separated default,wide,half")
 		budget    = fs.Uint64("budget", 150_000, "committed instructions per cell")
+		fidelity  = fs.String("fidelity", "", "evaluation fidelity: cycle (default), analytic, mc")
 		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS; fleet: 16 per backend)")
 		journal   = fs.String("journal", "", "checkpoint journal path (NDJSON, one cell per line)")
 		resume    = fs.Bool("resume", false, "skip cells already checkpointed in -journal")
@@ -49,10 +50,13 @@ func runSweep(args []string) {
 	)
 	fs.Parse(args)
 
-	budgetSet := false
+	budgetSet, fidelitySet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "budget" {
+		switch f.Name {
+		case "budget":
 			budgetSet = true
+		case "fidelity":
+			fidelitySet = true
 		}
 	})
 
@@ -88,6 +92,11 @@ func runSweep(args []string) {
 			},
 		}
 	}
+	// An explicit -fidelity beats the spec file's fidelity (axis-flag
+	// grids have no other way to set it at all).
+	if fidelitySet || spec.Fidelity == "" {
+		spec.Fidelity = *fidelity
+	}
 	if *resume && *journal == "" {
 		fatalf("-resume requires -journal")
 	}
@@ -109,6 +118,13 @@ func runSweep(args []string) {
 	// because skeleton preparation runs at the server's training budget.
 	var runner sweep.Runner
 	if *backends != "" {
+		// Backends simulate cycle-accurately; estimator tiers are local
+		// math over a local calibration and gain nothing from a fleet.
+		if tr, err := sweep.TierOf(spec.Fidelity); err != nil {
+			fatalf("%v", err)
+		} else if tr != sweep.TierCycle {
+			fatalf("-fidelity %s runs locally; drop -backends", spec.Fidelity)
+		}
 		// Sweep cells are bulk traffic: batch priority keeps them from
 		// starving interactive runs sharing the same fleet.
 		remotes, err := parseBackends(*backends, fleet.WithPriority(lab.PriorityBatch))
@@ -129,7 +145,10 @@ func runSweep(args []string) {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		runner = l
+		tiers := &sweep.TierRunners{Lab: l}
+		if runner, err = tiers.Runner(spec.Fidelity, spec.Budget, 0); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	opts := sweep.Options{Journal: *journal, Resume: *resume}

@@ -2,8 +2,18 @@
 // model: the fetch queue as a Markov chain whose transition structure
 // derives from empirically measured instruction supply (I-cache or trace
 // cache) and demand (decode) distributions. It regenerates Fig. 5 and the
-// theoretical half of Fig. 14.
+// theoretical half of Fig. 14, and parameterizes the tier package's
+// analytic runner.
 package analytic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid tags model-construction failures (negative probability
+// masses, empty distributions). Use errors.Is.
+var ErrInvalid = errors.New("analytic: invalid distribution")
 
 // Model holds the two empirical distributions: D[j] = P(decode demands j
 // instructions), S[s] = P(the fetch unit can supply s instructions).
@@ -12,14 +22,28 @@ type Model struct {
 	S []float64
 }
 
-// NewModel normalizes the given distributions.
-func NewModel(demand, supply []float64) *Model {
-	return &Model{D: normalize(demand), S: normalize(supply)}
+// NewModel normalizes the given distributions into a Model. Negative
+// masses are rejected: they would normalize into a transition matrix
+// with negative "probabilities", whose power iteration can diverge or
+// oscillate forever and silently return garbage.
+func NewModel(demand, supply []float64) (*Model, error) {
+	d, err := normalize(demand)
+	if err != nil {
+		return nil, fmt.Errorf("%w: demand: %v", ErrInvalid, err)
+	}
+	s, err := normalize(supply)
+	if err != nil {
+		return nil, fmt.Errorf("%w: supply: %v", ErrInvalid, err)
+	}
+	return &Model{D: d, S: s}, nil
 }
 
-func normalize(xs []float64) []float64 {
+func normalize(xs []float64) ([]float64, error) {
 	var sum float64
-	for _, x := range xs {
+	for i, x := range xs {
+		if x < 0 {
+			return nil, fmt.Errorf("negative mass %g at index %d", x, i)
+		}
 		sum += x
 	}
 	out := make([]float64, len(xs))
@@ -27,12 +51,12 @@ func normalize(xs []float64) []float64 {
 		if len(out) > 0 {
 			out[0] = 1
 		}
-		return out
+		return out, nil
 	}
 	for i, x := range xs {
 		out[i] = x / sum
 	}
-	return out
+	return out, nil
 }
 
 // changeDist convolves supply and (negated) demand into the distribution
@@ -79,24 +103,40 @@ func (m *Model) Transition(capacity int) [][]float64 {
 	return p
 }
 
-// QueueDist computes the steady-state queue-length distribution Qss for
-// the given capacity by power iteration (Qss is the eigenvector of
-// eigenvalue 1; Perron-Frobenius guarantees convergence).
-func (m *Model) QueueDist(capacity int) []float64 {
+// steadyIters and steadyTol bound the damped power iteration: the
+// successive-iterate L1 difference must drop below steadyTol within
+// steadyIters applications, or SteadyState reports non-convergence.
+const (
+	steadyIters = 100_000
+	steadyTol   = 1e-13
+)
+
+// SteadyState computes the steady-state queue-length distribution Qss for
+// the given capacity, reporting whether the iteration actually converged.
+//
+// The iterate is damped — q ← ½q + ½Pq — rather than the plain power
+// iteration q ← Pq. Damping maps every eigenvalue λ of P to (1+λ)/2, so
+// a peripheral eigenvalue on the unit circle at angle θ lands at modulus
+// cos(θ/2) < 1: the oscillatory modes of a periodic chain (λ = -1 flips
+// sign every step, and the plain iteration's successive difference never
+// shrinks) decay instead of cycling forever. Fixed points are unchanged,
+// because (I+P)/2 and P share the eigenspace of λ = 1.
+func (m *Model) SteadyState(capacity int) (q []float64, converged bool) {
 	p := m.Transition(capacity)
 	n := capacity + 1
-	q := make([]float64, n)
+	q = make([]float64, n)
 	for i := range q {
 		q[i] = 1 / float64(n)
 	}
 	next := make([]float64, n)
-	for iter := 0; iter < 100000; iter++ {
+	for iter := 0; iter < steadyIters; iter++ {
 		for i := 0; i < n; i++ {
-			var s float64
+			s := q[i]
+			row := p[i]
 			for j := 0; j < n; j++ {
-				s += p[i][j] * q[j]
+				s += row[j] * q[j]
 			}
-			next[i] = s
+			next[i] = s / 2
 		}
 		var diff float64
 		for i := range q {
@@ -107,10 +147,21 @@ func (m *Model) QueueDist(capacity int) []float64 {
 			diff += d
 		}
 		q, next = next, q
-		if diff < 1e-13 {
-			break
+		// The damped successive difference is ½‖Pq - q‖₁, so this is a
+		// residual test on the fixed-point equation, not just stagnation.
+		if diff < steadyTol {
+			return q, true
 		}
 	}
+	return q, false
+}
+
+// QueueDist is SteadyState without the convergence signal, for callers
+// that only render the distribution. With the validated non-negative
+// distributions NewModel admits, the chain's boundary self-loops make it
+// aperiodic and the damped iteration always converges.
+func (m *Model) QueueDist(capacity int) []float64 {
+	q, _ := m.SteadyState(capacity)
 	return q
 }
 

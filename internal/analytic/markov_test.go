@@ -1,10 +1,20 @@
 package analytic
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 )
+
+func mustModel(t *testing.T, demand, supply []float64) *Model {
+	t.Helper()
+	m, err := NewModel(demand, supply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 func almostOne(xs []float64) bool {
 	var s float64
@@ -15,11 +25,14 @@ func almostOne(xs []float64) bool {
 }
 
 func TestTransitionColumnsStochastic(t *testing.T) {
-	m := NewModel([]float64{0.2, 0.3, 0.3, 0.1, 0.1}, []float64{0.1, 0.2, 0.3, 0.4})
+	m := mustModel(t, []float64{0.2, 0.3, 0.3, 0.1, 0.1}, []float64{0.1, 0.2, 0.3, 0.4})
 	p := m.Transition(8)
 	for j := 0; j <= 8; j++ {
 		var s float64
 		for i := 0; i <= 8; i++ {
+			if p[i][j] < 0 {
+				t.Fatalf("negative transition probability P[%d][%d] = %g", i, j, p[i][j])
+			}
 			s += p[i][j]
 		}
 		if math.Abs(s-1) > 1e-9 {
@@ -28,8 +41,69 @@ func TestTransitionColumnsStochastic(t *testing.T) {
 	}
 }
 
+func TestNewModelRejectsNegativeMass(t *testing.T) {
+	if _, err := NewModel([]float64{2, -1}, []float64{0, 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative demand mass: error %v, want ErrInvalid", err)
+	}
+	if _, err := NewModel([]float64{0, 1}, []float64{-0.5, 1.5}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative supply mass: error %v, want ErrInvalid", err)
+	}
+	// All-zero distributions still degrade to the point mass at 0.
+	m, err := NewModel([]float64{0, 0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D[0] != 1 || m.D[1] != 0 {
+		t.Fatalf("zero demand normalized to %v, want point mass at 0", m.D)
+	}
+}
+
+// TestSteadyStatePeriodicChainRegression is the regression test for the
+// power-iteration convergence bug. The two-point model below slips past
+// the old mass check (each distribution sums to 1) but carries a negative
+// demand mass, producing a lower-triangular transition matrix with
+// diagonal -1 — a true eigenvalue on the unit circle. The old undamped
+// iteration q ← Pq amplified the λ = -1 modes every step and, after its
+// 100k iterations, silently returned an iterate with |Pq-q|₁ on the
+// order of 1e24. The damped iteration kills those modes and lands on the
+// chain's genuine fixed point (the point mass at capacity).
+func TestSteadyStatePeriodicChainRegression(t *testing.T) {
+	m := &Model{D: []float64{2, -1}, S: []float64{0, 1}}
+	const cap = 6
+	q, converged := m.SteadyState(cap)
+	if !converged {
+		t.Fatal("damped iteration did not converge on the periodic two-point chain")
+	}
+	p := m.Transition(cap)
+	var res float64
+	for i := 0; i <= cap; i++ {
+		var s float64
+		for j := 0; j <= cap; j++ {
+			s += p[i][j] * q[j]
+		}
+		res += math.Abs(s - q[i])
+	}
+	if res > 1e-8 {
+		t.Fatalf("steady state is not a fixed point: |Pq-q|_1 = %g (old iteration returned garbage here)", res)
+	}
+	if math.Abs(q[cap]-1) > 1e-8 {
+		t.Fatalf("fixed point %v, want the point mass at capacity", q)
+	}
+}
+
+// TestSteadyStateReportsNonConvergence hands SteadyState a matrix even
+// damping cannot fix (diagonal mass -3 maps to a damped eigenvalue of
+// -1): the iteration must say so instead of silently returning the
+// oscillating iterate as if it were a steady state.
+func TestSteadyStateReportsNonConvergence(t *testing.T) {
+	m := &Model{D: []float64{4, -3}, S: []float64{0, 1}}
+	if _, converged := m.SteadyState(4); converged {
+		t.Fatal("SteadyState claimed convergence on a chain whose damped iteration oscillates")
+	}
+}
+
 func TestQueueDistIsDistribution(t *testing.T) {
-	m := NewModel([]float64{0.2, 0.2, 0.3, 0.2, 0.1}, []float64{0.3, 0.1, 0.2, 0.2, 0.2})
+	m := mustModel(t, []float64{0.2, 0.2, 0.3, 0.2, 0.1}, []float64{0.3, 0.1, 0.2, 0.2, 0.2})
 	q := m.QueueDist(16)
 	if !almostOne(q) {
 		t.Fatal("steady state not a distribution")
@@ -42,9 +116,12 @@ func TestQueueDistIsDistribution(t *testing.T) {
 }
 
 func TestSteadyStateIsFixedPoint(t *testing.T) {
-	m := NewModel([]float64{0.3, 0.2, 0.2, 0.2, 0.1}, []float64{0.2, 0.1, 0.2, 0.2, 0.3})
+	m := mustModel(t, []float64{0.3, 0.2, 0.2, 0.2, 0.1}, []float64{0.2, 0.1, 0.2, 0.2, 0.3})
 	const cap = 12
-	q := m.QueueDist(cap)
+	q, converged := m.SteadyState(cap)
+	if !converged {
+		t.Fatal("iteration did not converge")
+	}
 	p := m.Transition(cap)
 	for i := 0; i <= cap; i++ {
 		var s float64
@@ -59,7 +136,7 @@ func TestSteadyStateIsFixedPoint(t *testing.T) {
 
 func TestSupplyExceedsDemandFillsQueue(t *testing.T) {
 	// Rich supply vs weak demand: queue should sit near capacity.
-	m := NewModel(
+	m := mustModel(t,
 		[]float64{0.8, 0.2, 0, 0, 0},         // demand mostly 0-1
 		[]float64{0.05, 0.05, 0.1, 0.2, 0.6}, // supply mostly 4
 	)
@@ -70,7 +147,7 @@ func TestSupplyExceedsDemandFillsQueue(t *testing.T) {
 }
 
 func TestDemandExceedsSupplyDrainsQueue(t *testing.T) {
-	m := NewModel(
+	m := mustModel(t,
 		[]float64{0, 0, 0.1, 0.3, 0.6},
 		[]float64{0.6, 0.3, 0.1, 0, 0},
 	)
@@ -82,7 +159,7 @@ func TestDemandExceedsSupplyDrainsQueue(t *testing.T) {
 
 func TestBiggerBufferReducesBubbles(t *testing.T) {
 	// Balanced but bursty flows: capacity should monotonically help.
-	m := NewModel(
+	m := mustModel(t,
 		[]float64{0.3, 0.1, 0.1, 0.2, 0.3},
 		[]float64{0.35, 0.05, 0.1, 0.2, 0.2, 0.05, 0.05},
 	)
@@ -125,7 +202,10 @@ func TestBubblesBoundedByDemand(t *testing.T) {
 		if !dok || !sok {
 			return true
 		}
-		m := NewModel(d, s)
+		m, err := NewModel(d, s)
+		if err != nil {
+			return false // non-negative inputs must never be rejected
+		}
 		e := m.ExpectedBubbles(8)
 		// E[FB] can never exceed mean demand.
 		var meanD float64

@@ -39,6 +39,14 @@ const (
 	StrategyPareto = "pareto"
 )
 
+// FidelityLadder turns a halving or pareto exploration into a tiered
+// one: the whole space is scored by the analytic tier, the top fraction
+// is promoted to the Monte-Carlo tier, and only the finalists run on the
+// cycle-accurate runner — rungs become (runner, budget) pairs instead of
+// budgets alone, and the report carries per-tier estimator error against
+// the cycle-accurate ground truth.
+const FidelityLadder = "ladder"
+
 // Defaults applied by normalize for fields left zero.
 const (
 	DefaultSamples = 256
@@ -89,6 +97,12 @@ type Spec struct {
 	// MinBudget is halving's round-0 budget; 0 derives it from the full
 	// budget (Space.Budget / eta^3, floored at 1000).
 	MinBudget uint64 `json:"min_budget,omitempty"`
+
+	// Fidelity selects tiered evaluation: "" runs every rung on the
+	// cycle-accurate runner, FidelityLadder climbs analytic → Monte-Carlo
+	// → cycle-accurate instead of (halving) or alongside (pareto) the
+	// budget ladder.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // ParseSpec decodes a JSON exploration spec, rejecting unknown fields
@@ -149,6 +163,21 @@ func (s Spec) normalize() (Spec, error) {
 	}
 	if s.Eta < 2 || s.Eta > 64 {
 		return Spec{}, fmt.Errorf("%w: eta %d, want 2..64", lab.ErrInvalid, s.Eta)
+	}
+	switch s.Fidelity {
+	case "":
+	case FidelityLadder:
+		if s.Strategy != StrategyHalving && s.Strategy != StrategyPareto {
+			return Spec{}, fmt.Errorf("%w: fidelity ladder needs an iterative strategy (halving or pareto), not %q", lab.ErrInvalid, s.Strategy)
+		}
+		if s.Space.Budget == 0 {
+			return Spec{}, fmt.Errorf("%w: fidelity ladder needs an explicit space budget (every rung evaluates at it)", lab.ErrInvalid)
+		}
+		if s.Space.Fidelity != "" {
+			return Spec{}, fmt.Errorf("%w: set fidelity on the exploration, not the space (space fidelity %q conflicts with the ladder)", lab.ErrInvalid, s.Space.Fidelity)
+		}
+	default:
+		return Spec{}, fmt.Errorf("%w: unknown fidelity %q (want \"\" or %q)", lab.ErrInvalid, s.Fidelity, FidelityLadder)
 	}
 	if s.Strategy == StrategyHalving {
 		if s.Space.Budget == 0 {

@@ -32,16 +32,52 @@ type Options struct {
 	// Progress receives one sweep.Event per completed cell (Done/Total
 	// are batch-relative). May be called from multiple goroutines.
 	Progress func(sweep.Event)
+
+	// Tiers supplies the estimator runners a fidelity-ladder exploration
+	// climbs before touching the cycle-accurate runner. Required when
+	// Spec.Fidelity is FidelityLadder, ignored otherwise.
+	Tiers *Tiers
 }
 
-// Round summarizes one searcher iteration.
+// Tiers bundles the lower-fidelity runners of a ladder exploration. The
+// cycle-accurate tier is the Runner passed to Explore itself.
+type Tiers struct {
+	Analytic sweep.Runner
+	MC       sweep.Runner
+}
+
+// Round summarizes one searcher iteration. Tier records which runner
+// evaluated the round explicitly (empty means cycle-accurate, matching
+// sweep.TierCycle) — ladder rungs are (runner, budget) pairs, and
+// nothing may infer the runner from the budget.
 type Round struct {
 	Round   int     `json:"round"`
+	Tier    string  `json:"tier,omitempty"`
 	Budget  uint64  `json:"budget"`
 	Cells   int     `json:"cells"`     // fresh cells evaluated this round
 	Kept    int     `json:"kept"`      // candidates promoted / frontier size
 	BestIPC float64 `json:"best_ipc"`  // best IPC seen by this round's rank
 	BestKey string  `json:"best_cell"` // human label of that cell (workload + coords)
+}
+
+// TierError is one estimator tier's accuracy against the cycle-accurate
+// ground truth, measured over the ladder finalists.
+type TierError struct {
+	Tier  string  `json:"tier"`
+	Cells int     `json:"cells"`
+	MAPE  float64 `json:"mape"` // mean absolute percentage error on IPC, as a fraction
+}
+
+// Finalist pairs one ladder finalist's cycle-accurate IPC with the
+// lower-tier estimates that promoted it — the estimator-error audit
+// trail every promoted cell carries.
+type Finalist struct {
+	Workload    string   `json:"workload"`
+	Coords      []string `json:"coords,omitempty"`
+	Key         string   `json:"key"`
+	AnalyticIPC float64  `json:"analytic_ipc"`
+	MCIPC       float64  `json:"mc_ipc"`
+	CycleIPC    float64  `json:"cycle_ipc"`
 }
 
 // Result is a completed exploration. Everything in it is a pure function
@@ -57,6 +93,12 @@ type Result struct {
 	Survivors []sweep.CellResult `json:"survivors,omitempty"` // halving: final top candidates
 	Frontier  []sweep.CellResult `json:"frontier,omitempty"`  // non-dominated IPC-vs-energy set
 	Resumed   int                `json:"resumed"`             // cells restored from the journal
+
+	// TierErrors and Finalists are filled by ladder explorations: the
+	// per-tier estimator error against cycle-accurate ground truth, and
+	// each finalist's estimates alongside its true IPC.
+	TierErrors []TierError `json:"tier_errors,omitempty"`
+	Finalists  []Finalist  `json:"finalists,omitempty"`
 }
 
 // explorer carries one exploration's state across rounds.
@@ -98,10 +140,12 @@ func Explore(ctx context.Context, r sweep.Runner, spec Spec, opts Options) (*Res
 		res:  &Result{Spec: spec, SpaceSize: space.Size()},
 		seen: make(map[string]bool),
 	}
-	switch spec.Strategy {
-	case StrategyHalving:
+	switch {
+	case spec.Fidelity == FidelityLadder:
+		err = e.runLadder(ctx)
+	case spec.Strategy == StrategyHalving:
 		err = e.runHalving(ctx)
-	case StrategyPareto:
+	case spec.Strategy == StrategyPareto:
 		err = e.runPareto(ctx)
 	default: // random, lhs
 		err = e.runOneShot(ctx)
@@ -115,34 +159,35 @@ func Explore(ctx context.Context, r sweep.Runner, spec Spec, opts Options) (*Res
 
 // fullBudgetEvals filters Evaluated down to full-fidelity results — the
 // only ones comparable on the objective plane (halving's probe rounds
-// ran cheaper, noisier simulations).
+// ran cheaper, noisier simulations; ladder rungs ran estimators).
 func (e *explorer) fullBudgetEvals() []sweep.CellResult {
-	if e.spec.Space.Budget == 0 {
-		return e.res.Evaluated // single-budget strategies at the runner default
-	}
-	var out []sweep.CellResult
-	for _, c := range e.res.Evaluated {
-		if c.Result.Budget == e.spec.Space.Budget {
-			out = append(out, c)
-		}
-	}
-	return out
+	return e.res.fullEvals()
 }
 
-// eval submits one batch through the sweep engine and folds the results
-// into the running exploration.
+// eval submits one batch through the cycle-accurate runner (or whichever
+// runner the caller paired with Spec.Space.Fidelity).
 func (e *explorer) eval(ctx context.Context, cells []sweep.Cell, budget uint64) ([]sweep.CellResult, error) {
+	return e.evalTier(ctx, e.runner, e.spec.Space.Fidelity, cells, budget)
+}
+
+// evalTier submits one batch through the sweep engine on an explicit
+// (runner, fidelity) pair and folds the results into the running
+// exploration. The fidelity tags the journal keys and the CellResult
+// provenance; the runner must actually be that tier — the engine cannot
+// check it.
+func (e *explorer) evalTier(ctx context.Context, r sweep.Runner, fidelity string, cells []sweep.Cell, budget uint64) ([]sweep.CellResult, error) {
 	if len(cells) == 0 {
 		return nil, nil
 	}
 	bspec := e.spec.Space
 	bspec.Budget = budget
+	bspec.Fidelity = fidelity
 	// The first batch resumes only on request; every later batch of this
 	// exploration consults the journal unconditionally — cells completed
 	// before a crash restore no matter which round they belonged to.
 	resume := e.opts.Journal != "" && (e.opts.Resume || e.batches > 0)
 	e.batches++
-	sres, err := sweep.RunCells(ctx, e.runner, bspec, cells, sweep.Options{
+	sres, err := sweep.RunCells(ctx, r, bspec, cells, sweep.Options{
 		Journal:  e.opts.Journal,
 		Resume:   resume,
 		Progress: e.opts.Progress,
@@ -305,6 +350,237 @@ func (e *explorer) runHalving(ctx context.Context) error {
 	}
 }
 
+// Ladder rung sizing: the analytic pass scores at most ladderMaxScore
+// cells (beyond that a seeded sampler draw stands in for exhaustion),
+// submitted to the estimator in ladderChunk batches so a huge space
+// never materializes one giant cell slice.
+const (
+	ladderMaxScore = 1 << 20
+	ladderChunk    = 4096
+)
+
+// runLadder climbs the fidelity ladder: the whole space is scored by the
+// analytic tier at the full budget, the top fraction is promoted to the
+// Monte-Carlo tier, and only those finalists run cycle-accurately. Rungs
+// are (runner, budget) pairs — every rung evaluates at the full budget;
+// what rises is fidelity, not cycles. The analytic rung is pure math
+// over one calibration, cheap and deterministic to recompute, so it is
+// neither journaled nor folded into Evaluated; the MC and cycle rungs
+// checkpoint under tier-tagged journal keys, so one journal resumes the
+// whole ladder without cross-tier collisions.
+func (e *explorer) runLadder(ctx context.Context) error {
+	t := e.opts.Tiers
+	if t == nil || t.Analytic == nil || t.MC == nil {
+		return fmt.Errorf("%w: fidelity ladder needs analytic and Monte-Carlo runners (Options.Tiers)", lab.ErrInvalid)
+	}
+	full := e.spec.Space.Budget
+
+	// Rung 0 — analytic: score everything (or a seeded draw when the
+	// space exceeds ladderMaxScore).
+	var indices []int64
+	if n := e.space.Size(); n <= ladderMaxScore {
+		indices = make([]int64, n)
+		for i := range indices {
+			indices[i] = int64(i)
+		}
+	} else {
+		indices = e.sampler.Draw(ladderMaxScore)
+	}
+	if len(indices) == 0 {
+		return fmt.Errorf("%w: empty space", lab.ErrInvalid)
+	}
+	aspec := e.spec.Space
+	aspec.Fidelity = sweep.TierAnalytic
+	scoreSeen := make(map[string]bool, len(indices))
+	var scored []sweep.CellResult
+	for start := 0; start < len(indices); start += ladderChunk {
+		end := start + ladderChunk
+		if end > len(indices) {
+			end = len(indices)
+		}
+		cells, err := e.space.cells(indices[start:end], full, scoreSeen)
+		if err != nil {
+			return err
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		sres, err := sweep.RunCells(ctx, t.Analytic, aspec, cells, sweep.Options{})
+		if err != nil {
+			return err
+		}
+		scored = append(scored, sres.Cells...)
+	}
+	rankByIPC(scored)
+	nMC := promoteCount(len(scored), e.spec.Eta)
+	if nMC > e.spec.Samples {
+		nMC = e.spec.Samples
+	}
+	promoted := scored[:nMC]
+	if e.spec.Strategy == StrategyPareto {
+		promoted = paretoPromote(scored, nMC)
+	}
+	e.res.Rounds = append(e.res.Rounds, Round{
+		Round: 0, Tier: sweep.TierAnalytic, Budget: full,
+		Cells: len(scored), Kept: len(promoted),
+		BestIPC: scored[0].Result.IPC, BestKey: cellLabel(scored[0].Cell),
+	})
+	analyticIPC := make(map[string]float64, len(promoted))
+	for _, c := range promoted {
+		analyticIPC[c.Key] = c.Result.IPC
+	}
+
+	// Rung 1 — Monte-Carlo: the promoted cells re-run through the
+	// stochastic queue model, journaled and counted as real evaluations.
+	mcRes, err := e.evalTier(ctx, t.MC, sweep.TierMC, cellsOf(promoted), full)
+	if err != nil {
+		return err
+	}
+	mcRes = append([]sweep.CellResult(nil), mcRes...)
+	rankByIPC(mcRes)
+	nCycle := promoteCount(len(mcRes), e.spec.Eta)
+	finalists := mcRes[:nCycle]
+	if e.spec.Strategy == StrategyPareto {
+		finalists = paretoPromote(mcRes, nCycle)
+	}
+	e.res.Rounds = append(e.res.Rounds, Round{
+		Round: 1, Tier: sweep.TierMC, Budget: full,
+		Cells: len(mcRes), Kept: len(finalists),
+		BestIPC: mcRes[0].Result.IPC, BestKey: cellLabel(mcRes[0].Cell),
+	})
+	mcIPC := make(map[string]float64, len(finalists))
+	for _, c := range finalists {
+		mcIPC[c.Key] = c.Result.IPC
+	}
+
+	// Rung 2 — cycle-accurate ground truth for the finalists only.
+	cycRes, err := e.evalTier(ctx, e.runner, sweep.TierCycle, cellsOf(finalists), full)
+	if err != nil {
+		return err
+	}
+	cycRes = append([]sweep.CellResult(nil), cycRes...)
+	rankByIPC(cycRes)
+	e.res.Rounds = append(e.res.Rounds, Round{
+		Round: 2, Tier: sweep.TierCycle, Budget: full,
+		Cells: len(cycRes), Kept: len(cycRes),
+		BestIPC: cycRes[0].Result.IPC, BestKey: cellLabel(cycRes[0].Cell),
+	})
+	if e.spec.Strategy == StrategyHalving {
+		e.res.Survivors = cycRes
+	}
+
+	// Every finalist carries its lower-tier estimates; the per-tier MAPE
+	// against the cycle-accurate IPC is the ladder's error report.
+	var aerr, merr float64
+	for _, c := range cycRes {
+		f := Finalist{
+			Workload: c.Workload, Coords: c.Coords, Key: c.Key,
+			AnalyticIPC: analyticIPC[c.Key], MCIPC: mcIPC[c.Key], CycleIPC: c.Result.IPC,
+		}
+		e.res.Finalists = append(e.res.Finalists, f)
+		if c.Result.IPC > 0 {
+			aerr += abs(f.AnalyticIPC-f.CycleIPC) / f.CycleIPC
+			merr += abs(f.MCIPC-f.CycleIPC) / f.CycleIPC
+		}
+	}
+	if n := len(cycRes); n > 0 {
+		e.res.TierErrors = []TierError{
+			{Tier: sweep.TierAnalytic, Cells: n, MAPE: aerr / float64(n)},
+			{Tier: sweep.TierMC, Cells: n, MAPE: merr / float64(n)},
+		}
+	}
+	return nil
+}
+
+// rankByIPC sorts cell results by IPC descending, breaking ties on the
+// enumeration index and then the canonical key, so every ladder ranking
+// is total and deterministic.
+func rankByIPC(cells []sweep.CellResult) {
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Result.IPC != cells[j].Result.IPC {
+			return cells[i].Result.IPC > cells[j].Result.IPC
+		}
+		if cells[i].Index != cells[j].Index {
+			return cells[i].Index < cells[j].Index
+		}
+		return cells[i].Key < cells[j].Key
+	})
+}
+
+// promoteCount is the ladder's keep rule: ceil(n/eta), at least one, at
+// most n.
+func promoteCount(n, eta int) int {
+	k := (n + eta - 1) / eta
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// paretoPromote promotes up to n cells from an IPC-ranked list, the
+// IPC-vs-energy non-dominated set first (found by a linear sweep over
+// the ranking — O(n), unlike the archive frontier), then the best
+// remaining IPC ranks. Pareto ladders must not starve the frontier's
+// low-power end just because its IPC is mid-pack.
+func paretoPromote(ranked []sweep.CellResult, n int) []sweep.CellResult {
+	if n >= len(ranked) {
+		return ranked
+	}
+	out := make([]sweep.CellResult, 0, n)
+	taken := make(map[string]bool, n)
+	minEnergy := 0.0
+	for i, c := range ranked {
+		if len(out) == n {
+			break
+		}
+		if i == 0 || c.Result.EnergyJ < minEnergy {
+			minEnergy = c.Result.EnergyJ
+			out = append(out, c)
+			taken[c.Key] = true
+		}
+	}
+	for _, c := range ranked {
+		if len(out) == n {
+			break
+		}
+		if !taken[c.Key] {
+			out = append(out, c)
+			taken[c.Key] = true
+		}
+	}
+	rankByIPC(out)
+	return out
+}
+
+// cellsOf strips results back to bare cells for the next rung.
+func cellsOf(cells []sweep.CellResult) []sweep.Cell {
+	out := make([]sweep.Cell, len(cells))
+	for i, c := range cells {
+		out[i] = c.Cell
+	}
+	return out
+}
+
+// abs avoids importing math for one call site.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// tierLabel names a tier in report tables (the cycle tier's canonical
+// name is the empty string, which would render as a blank cell).
+func tierLabel(t string) string {
+	if t == sweep.TierCycle {
+		return "cycle"
+	}
+	return t
+}
+
 // cellLabel is the compact human name of a cell: workload plus axis
 // value labels (canonical keys dump whole config specs — fine as
 // identities, unreadable in a trajectory table).
@@ -359,14 +635,56 @@ func (r *Result) Report() *exp.Report {
 	rep.Title = title
 
 	if len(r.Rounds) > 0 {
-		t := &stats.Table{
-			Title:  "search trajectory (one row per round)",
-			Header: []string{"round", "budget", "cells", "kept", "best_ipc", "best_cell"},
+		// The tier column appears only when some round ran off the cycle
+		// tier, so pre-ladder reports stay byte-identical.
+		tiered := false
+		for _, rd := range r.Rounds {
+			if rd.Tier != sweep.TierCycle {
+				tiered = true
+			}
+		}
+		t := &stats.Table{Title: "search trajectory (one row per round)"}
+		if tiered {
+			t.Header = []string{"round", "tier", "budget", "cells", "kept", "best_ipc", "best_cell"}
+		} else {
+			t.Header = []string{"round", "budget", "cells", "kept", "best_ipc", "best_cell"}
 		}
 		for _, rd := range r.Rounds {
-			t.AddRow(fmt.Sprintf("%d", rd.Round), fmt.Sprintf("%d", rd.Budget),
+			row := []string{fmt.Sprintf("%d", rd.Round)}
+			if tiered {
+				row = append(row, tierLabel(rd.Tier))
+			}
+			row = append(row, fmt.Sprintf("%d", rd.Budget),
 				fmt.Sprintf("%d", rd.Cells), fmt.Sprintf("%d", rd.Kept),
 				fmt.Sprintf("%.4f", rd.BestIPC), rd.BestKey)
+			t.AddRow(row...)
+		}
+		rep.Add(t)
+	}
+
+	if len(r.TierErrors) > 0 {
+		t := &stats.Table{
+			Title:  "estimator error vs cycle-accurate ground truth (over ladder finalists)",
+			Header: []string{"tier", "cells", "mape_pct"},
+		}
+		for _, te := range r.TierErrors {
+			t.AddRow(tierLabel(te.Tier), fmt.Sprintf("%d", te.Cells), fmt.Sprintf("%.2f", 100*te.MAPE))
+		}
+		rep.Add(t)
+	}
+
+	if len(r.Finalists) > 0 {
+		t := &stats.Table{}
+		t.Title = "ladder finalists: lower-tier estimates vs cycle-accurate IPC"
+		t.Header = append(append([]string{"workload"}, axes...),
+			"analytic_ipc", "mc_ipc", "cycle_ipc")
+		for _, f := range r.Finalists {
+			row := append([]string{f.Workload}, f.Coords...)
+			row = append(row,
+				fmt.Sprintf("%.4f", f.AnalyticIPC),
+				fmt.Sprintf("%.4f", f.MCIPC),
+				fmt.Sprintf("%.4f", f.CycleIPC))
+			t.AddRow(row...)
 		}
 		rep.Add(t)
 	}
@@ -431,16 +749,27 @@ func (r *Result) Report() *exp.Report {
 	return rep
 }
 
-// fullEvals is fullBudgetEvals reachable from a deserialized Result.
+// fullEvals filters Evaluated down to the exploration's target tier at
+// the full budget. Provenance comes from CellResult.Tier, never from the
+// budget: budget 0 used to mean "everything is full fidelity", which
+// silently swept estimator results into the objective tables once
+// lower tiers existed. The target tier is the space's own fidelity
+// (cycle for ladder explorations — the ladder's estimator rungs are
+// intermediate, not comparable ground truth).
 func (r *Result) fullEvals() []sweep.CellResult {
-	if r.Spec.Space.Budget == 0 {
-		return r.Evaluated
+	target, err := sweep.TierOf(r.Spec.Space.Fidelity)
+	if err != nil {
+		target = sweep.TierCycle
 	}
 	var out []sweep.CellResult
 	for _, c := range r.Evaluated {
-		if c.Result.Budget == r.Spec.Space.Budget {
-			out = append(out, c)
+		if c.Tier != target {
+			continue
 		}
+		if r.Spec.Space.Budget != 0 && c.Result.Budget != r.Spec.Space.Budget {
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }

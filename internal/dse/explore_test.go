@@ -10,6 +10,7 @@ import (
 
 	"r3dla/internal/lab"
 	"r3dla/internal/sweep"
+	"r3dla/internal/tier"
 )
 
 // fakeRunner is a synthetic sweep.Runner: IPC and energy are cheap pure
@@ -434,5 +435,324 @@ func TestParseSpecRejects(t *testing.T) {
 	}
 	if _, err := ParseSpec([]byte(`{"space":{"workloads":["mcf"]},"strategy":"pareto","seed":4}`)); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// ------------------------------------------------------------ ladder tests
+
+// ladderTiers builds the estimator tiers a ladder test needs, calibrated
+// against the given lab with no persistence.
+func ladderTiers(l *lab.Lab, budget uint64, seed int64) *Tiers {
+	cal := tier.NewCalibrator(l, tier.CalibBudgetFor(budget), nil)
+	return &Tiers{Analytic: tier.NewAnalyticRunner(cal), MC: tier.NewMonteCarloRunner(cal, uint64(seed))}
+}
+
+// ladderSpec is the small ladder exploration the real-lab tests share.
+func ladderSpec() Spec {
+	return Spec{
+		Space:    testSpaceSpec(),
+		Strategy: StrategyHalving,
+		Fidelity: FidelityLadder,
+		Seed:     13,
+		Samples:  8,
+		Eta:      4,
+	}
+}
+
+// TestLadderMechanics drives the full ladder with three synthetic
+// runners whose objectives differ by a known bias, so every promotion
+// count, tier tag and error figure is checkable by hand: 16 candidates
+// score analytically, ceil(16/4)=4 promote to MC, ceil(4/4)=1 runs
+// cycle-accurately, and the reported MAPEs are exactly the planted
+// biases (analytic 10% high, MC 5% high).
+func TestLadderMechanics(t *testing.T) {
+	cycle := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		return float64(boq), 1000 / float64(boq)
+	}}
+	analytic := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		return float64(boq) * 1.1, 1000 / float64(boq)
+	}}
+	mc := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) {
+		return float64(boq) * 1.05, 1000 / float64(boq)
+	}}
+	spec := Spec{
+		Space:    fakeSpec(64000),
+		Strategy: StrategyHalving,
+		Fidelity: FidelityLadder,
+		Seed:     2,
+		Samples:  16,
+		Eta:      4,
+	}
+	res, err := Explore(context.Background(), cycle, spec, Options{Tiers: &Tiers{Analytic: analytic, MC: mc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if analytic.runs != 16 || mc.runs != 4 || cycle.runs != 1 {
+		t.Fatalf("tier dispatch = analytic %d, mc %d, cycle %d; want 16/4/1", analytic.runs, mc.runs, cycle.runs)
+	}
+	wantRounds := []Round{
+		{Round: 0, Tier: sweep.TierAnalytic, Budget: 64000, Cells: 16, Kept: 4},
+		{Round: 1, Tier: sweep.TierMC, Budget: 64000, Cells: 4, Kept: 1},
+		{Round: 2, Tier: sweep.TierCycle, Budget: 64000, Cells: 1, Kept: 1},
+	}
+	if len(res.Rounds) != len(wantRounds) {
+		t.Fatalf("got %d rounds, want %d: %+v", len(res.Rounds), len(wantRounds), res.Rounds)
+	}
+	for i, want := range wantRounds {
+		got := res.Rounds[i]
+		if got.Round != want.Round || got.Tier != want.Tier || got.Budget != want.Budget ||
+			got.Cells != want.Cells || got.Kept != want.Kept {
+			t.Fatalf("round %d = %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Evaluated holds only the journaled rungs (MC + cycle), each with
+	// explicit tier provenance; the analytic scoring pass never lands
+	// there.
+	if len(res.Evaluated) != 5 {
+		t.Fatalf("evaluated %d cells, want 5 (4 mc + 1 cycle)", len(res.Evaluated))
+	}
+	tiers := map[string]int{}
+	for _, c := range res.Evaluated {
+		tiers[c.Tier]++
+	}
+	if tiers[sweep.TierMC] != 4 || tiers[sweep.TierCycle] != 1 {
+		t.Fatalf("tier counts %v, want mc:4 cycle:1", tiers)
+	}
+
+	// The finalist is the largest BOQ (IPC is monotone at every tier) and
+	// carries both estimates; the MAPEs are the planted biases.
+	if len(res.Finalists) != 1 {
+		t.Fatalf("got %d finalists, want 1", len(res.Finalists))
+	}
+	f := res.Finalists[0]
+	if f.CycleIPC != 128 || f.AnalyticIPC != 128*1.1 || f.MCIPC != 128*1.05 {
+		t.Fatalf("finalist estimates = %+v, want cycle 128, analytic 140.8, mc 134.4", f)
+	}
+	if len(res.TierErrors) != 2 {
+		t.Fatalf("got %d tier errors, want 2", len(res.TierErrors))
+	}
+	const eps = 1e-9
+	if a := res.TierErrors[0]; a.Tier != sweep.TierAnalytic || a.Cells != 1 || abs(a.MAPE-0.1) > eps {
+		t.Fatalf("analytic error %+v, want MAPE 0.10", a)
+	}
+	if m := res.TierErrors[1]; m.Tier != sweep.TierMC || m.Cells != 1 || abs(m.MAPE-0.05) > eps {
+		t.Fatalf("mc error %+v, want MAPE 0.05", m)
+	}
+
+	// Survivors and frontier are cycle-tier only — estimates must never
+	// leak onto the objective plane.
+	if len(res.Survivors) != 1 || res.Survivors[0].Tier != sweep.TierCycle {
+		t.Fatalf("survivors %+v, want exactly the cycle finalist", res.Survivors)
+	}
+	for _, c := range res.Frontier {
+		if c.Tier != sweep.TierCycle {
+			t.Fatalf("frontier includes %s-tier cell %s", c.Tier, c.Key)
+		}
+	}
+}
+
+// TestParetoPromote pins the linear-sweep promotion rule: frontier cells
+// first (the low-energy end must survive mid-pack IPC), then IPC rank.
+func TestParetoPromote(t *testing.T) {
+	mk := func(key string, idx int, ipc, energy float64) sweep.CellResult {
+		return sweep.CellResult{
+			Cell:   sweep.Cell{Index: idx, Key: key},
+			Result: &lab.RunResult{IPC: ipc, EnergyJ: energy},
+		}
+	}
+	// IPC-ranked; "frugal" is dominated on IPC by three cells but has the
+	// lowest energy, so it is on the frontier and must be promoted ahead
+	// of "filler" cells with better IPC.
+	ranked := []sweep.CellResult{
+		mk("best", 0, 10, 5),
+		mk("fill1", 1, 9, 6),
+		mk("fill2", 2, 8, 7),
+		mk("frugal", 3, 2, 1),
+		mk("tail", 4, 1, 2),
+	}
+	got := paretoPromote(ranked, 3)
+	want := []string{"best", "fill1", "frugal"}
+	if len(got) != len(want) {
+		t.Fatalf("promoted %d cells, want %d", len(got), len(want))
+	}
+	for i, k := range want {
+		if got[i].Key != k {
+			t.Fatalf("promoted[%d] = %s, want %s (full: %+v)", i, got[i].Key, k, got)
+		}
+	}
+}
+
+// TestLadderDeterministicAcrossJobs pins the ladder's byte-identity
+// contract on the real simulator: one worker and many render the same
+// report, including the estimator-error tables.
+func TestLadderDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) *Result {
+		l := newTestLab(t, jobs)
+		res, err := Explore(context.Background(), l, ladderSpec(), Options{Tiers: ladderTiers(l, 2000, 13)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := renderAll(t, run(1)), renderAll(t, run(8))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-jobs 1 and -jobs 8 ladder output differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte("estimator error")) {
+		t.Fatal("ladder report is missing the estimator-error table")
+	}
+}
+
+// TestLadderJournalAndResume interrupts a ladder exploration after two
+// journaled cells, resumes it, and requires the output to byte-match an
+// uninterrupted run — the tier-tagged journal keys must restore the MC
+// and cycle rungs without cross-tier collisions.
+func TestLadderJournalAndResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "ladder.ndjson")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	completed := 0
+	il := newTestLab(t, 2)
+	_, err := Explore(ctx, il, ladderSpec(), Options{
+		Journal: journal,
+		Tiers:   ladderTiers(il, 2000, 13),
+		Progress: func(ev sweep.Event) {
+			mu.Lock()
+			completed++
+			if completed == 2 {
+				cancel()
+			}
+			mu.Unlock()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted ladder error: %v", err)
+	}
+
+	fl := newTestLab(t, 2)
+	full, err := Explore(context.Background(), fl, ladderSpec(), Options{Tiers: ladderTiers(fl, 2000, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rl := newTestLab(t, 2)
+	resumed, err := Explore(context.Background(), rl, ladderSpec(), Options{
+		Journal: journal, Resume: true, Tiers: ladderTiers(rl, 2000, 13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed < 2 {
+		t.Fatalf("resumed %d cells, want >= 2", resumed.Resumed)
+	}
+	if !bytes.Equal(renderAll(t, resumed), renderAll(t, full)) {
+		t.Fatal("resumed ladder output differs from uninterrupted run")
+	}
+}
+
+// hugeSpaceSpec is a 131072-cell space (2 workloads x 2 presets x 7
+// feature bits x 8 BOQ x 8 FQ x 4 VQ sizes) — past the 10^5 mark the
+// ladder exists for, and far past sweep.MaxCells.
+func hugeSpaceSpec() sweep.Spec {
+	return sweep.Spec{
+		Workloads: []string{"mcf", "libq"},
+		Budget:    2000,
+		Axes: sweep.Axes{
+			Preset:       []string{"dla", "r3"},
+			T1:           []bool{false, true},
+			ValueReuse:   []bool{false, true},
+			FetchBuffer:  []bool{false, true},
+			Recycle:      []bool{false, true},
+			BOP:          []bool{false, true},
+			Stride:       []bool{false, true},
+			PrefetchOnly: []bool{false, true},
+			BOQSize:      []int{32, 64, 128, 256, 512, 1024, 2048, 4096},
+			FQSize:       []int{16, 32, 64, 128, 256, 512, 1024, 2048},
+			VQSize:       []int{8, 16, 32, 64},
+		},
+	}
+}
+
+// TestLadderHugeSpace is the headline scale guarantee: a >=10^5-point
+// space completes with at most 5% of its cells (in fact a few dozen)
+// ever reaching the cycle-accurate runner, and reports per-tier
+// estimator error.
+func TestLadderHugeSpace(t *testing.T) {
+	spec := Spec{
+		Space:    hugeSpaceSpec(),
+		Strategy: StrategyHalving,
+		Fidelity: FidelityLadder,
+		Seed:     7,
+		Samples:  64,
+		Eta:      4,
+	}
+	l := newTestLab(t, 8)
+	res, err := Explore(context.Background(), l, spec, Options{Tiers: ladderTiers(l, 2000, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceSize < 100_000 {
+		t.Fatalf("space has %d cells, want >= 100000", res.SpaceSize)
+	}
+	cycleCells := 0
+	for _, c := range res.Evaluated {
+		if c.Tier == sweep.TierCycle {
+			cycleCells++
+		}
+	}
+	// Every cycle-accurate dispatch: the finalists plus the calibration
+	// runs the lab counted.
+	if total := uint64(l.RunCount()); total > uint64(res.SpaceSize)/20 {
+		t.Fatalf("dispatched %d cycle-accurate runs over a %d-cell space (> 5%%)", total, res.SpaceSize)
+	}
+	if want := 16; cycleCells != want { // ceil(64/4)
+		t.Fatalf("cycle tier evaluated %d cells, want %d", cycleCells, want)
+	}
+	if len(res.TierErrors) != 2 || res.TierErrors[0].Cells != 16 {
+		t.Fatalf("tier errors %+v, want analytic+mc over 16 finalists", res.TierErrors)
+	}
+	for _, te := range res.TierErrors {
+		if te.MAPE < 0 || te.MAPE > 1 {
+			t.Fatalf("%s MAPE %.3f outside sanity band [0,1]", te.Tier, te.MAPE)
+		}
+	}
+	if len(res.Finalists) != 16 {
+		t.Fatalf("got %d finalists, want 16", len(res.Finalists))
+	}
+	for _, f := range res.Finalists {
+		if f.AnalyticIPC <= 0 || f.MCIPC <= 0 || f.CycleIPC <= 0 {
+			t.Fatalf("finalist %s is missing an estimate: %+v", f.Key, f)
+		}
+	}
+}
+
+// TestLadderValidation pins the spec-level rejections.
+func TestLadderValidation(t *testing.T) {
+	r := &fakeRunner{objFn: func(boq int, budget uint64) (float64, float64) { return 1, 1 }}
+	cases := []struct {
+		name string
+		spec Spec
+		opts Options
+	}{
+		{"ladder on one-shot strategy", Spec{Space: fakeSpec(2000), Strategy: StrategyRandom, Fidelity: FidelityLadder}, Options{}},
+		{"ladder without budget", Spec{Space: fakeSpec(0), Strategy: StrategyPareto, Fidelity: FidelityLadder}, Options{}},
+		{"unknown fidelity", Spec{Space: fakeSpec(2000), Fidelity: "quantum"}, Options{}},
+		{"ladder without tiers", Spec{Space: fakeSpec(2000), Strategy: StrategyHalving, Fidelity: FidelityLadder}, Options{}},
+	}
+	sf := fakeSpec(2000)
+	sf.Fidelity = sweep.TierAnalytic
+	cases = append(cases, struct {
+		name string
+		spec Spec
+		opts Options
+	}{"ladder over space fidelity", Spec{Space: sf, Strategy: StrategyHalving, Fidelity: FidelityLadder}, Options{}})
+	for _, c := range cases {
+		if _, err := Explore(context.Background(), r, c.spec, c.opts); !errors.Is(err, lab.ErrInvalid) {
+			t.Errorf("%s: error %v, want lab.ErrInvalid", c.name, err)
+		}
 	}
 }

@@ -35,6 +35,7 @@ type StreamLine struct {
 // nothing — cross-request reuse comes from the Lab's singleflight result
 // cache instead.
 func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
+	tiers := &sweep.TierRunners{Lab: l}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
@@ -66,6 +67,28 @@ func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
 			}
 		}
 
+		// Resolve the runners before the stream commits to 200: the base
+		// runner follows the space's own fidelity (an all-analytic or
+		// all-MC exploration runs entirely on an estimator); a ladder
+		// exploration additionally gets the two estimator tiers, seeded by
+		// the exploration seed. Resolution only builds calibrator handles —
+		// no simulation happens until cells run.
+		runner, err := tiers.Runner(spec.Space.Fidelity, spec.Space.Budget, uint64(spec.Seed))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var topts *Tiers
+		if spec.Fidelity == FidelityLadder {
+			analytic, aerr := tiers.Runner(sweep.TierAnalytic, spec.Space.Budget, uint64(spec.Seed))
+			mc, merr := tiers.Runner(sweep.TierMC, spec.Space.Budget, uint64(spec.Seed))
+			if aerr != nil || merr != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%w: fidelity ladder tiers unavailable", lab.ErrInvalid))
+				return
+			}
+			topts = &Tiers{Analytic: analytic, MC: mc}
+		}
+
 		var release func()
 		if g != nil {
 			var ok bool
@@ -89,7 +112,7 @@ func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
 			}
 		}
 
-		res, err := Explore(r.Context(), l, spec, Options{
+		res, err := Explore(r.Context(), runner, spec, Options{
 			Progress: func(ev sweep.Event) {
 				c := ev.Cell
 				emit(StreamLine{
@@ -97,6 +120,7 @@ func NewHandler(l *lab.Lab, g sweep.Gate) http.Handler {
 					Cell: &c, Run: ev.Result, Resumed: ev.Resumed,
 				})
 			},
+			Tiers: topts,
 		})
 		if g != nil {
 			g.Observe(r.Context(), err)

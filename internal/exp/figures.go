@@ -59,11 +59,19 @@ func Fig1(c *Context) *Report {
 const fbWorkload = "gobmk"
 
 // measureSupplyDemand extracts the empirical supply and demand
+// distributions of Appendix B at the figures' standard measurement
+// budget (a quarter of the evaluation budget).
+func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []float64) {
+	return MeasureSupplyDemand(c, p, c.Budget/4)
+}
+
+// MeasureSupplyDemand extracts the empirical supply and demand
 // distributions of Appendix B: demand under a perfect frontend, supply
 // under an infinite backend (with and without taken-branch fetch breaks
 // to model a trace cache). The three measurement runs are independent and
-// dispatched to the worker pool.
-func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []float64) {
+// dispatched to the worker pool. The tier package's calibrator runs this
+// at its own (short) calibration budget, so the budget is a parameter.
+func MeasureSupplyDemand(c *Context, p *Prepared, budget uint64) (demand, supplyIC, supplyTC []float64) {
 	muts := []func(*pipeline.Config){
 		func(cfg *pipeline.Config) { cfg.PerfectFrontend = true; cfg.TrackDemand = true },
 		func(cfg *pipeline.Config) { cfg.InfiniteBackend = true; cfg.TrackSupply = true },
@@ -80,10 +88,21 @@ func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []
 			cfg.FetchWidth = 16   // Appendix B case study: 16-wide I-cache fetch
 			cfg.FetchBufSize = 64 // don't let the buffer cap the supply measure
 			muts[i](&cfg)
-			ms[i], _ = BaselineMetricsOn(p, cfg, c.Budget/4, true)
+			ms[i], _ = BaselineMetricsOn(p, cfg, budget, true)
 		})
 	})
 	return ms[0].Demand.Dist(), ms[1].Supply.Dist(), ms[2].Supply.Dist()
+}
+
+// mustModel builds the Appendix B model from measured histograms.
+// Histogram distributions are non-negative by construction, so a
+// rejection here is a programming error, not a data condition.
+func mustModel(demand, supply []float64) *analytic.Model {
+	m, err := analytic.NewModel(demand, supply)
+	if err != nil {
+		panic(fmt.Sprintf("exp: measured distributions rejected: %v", err))
+	}
+	return m
 }
 
 // Fig5 regenerates Fig. 5: the analytic queue-length distributions for
@@ -92,8 +111,8 @@ func measureSupplyDemand(c *Context, p *Prepared) (demand, supplyIC, supplyTC []
 func Fig5(c *Context) *Report {
 	p := c.Prep(fbWorkload)
 	demand, supplyIC, supplyTC := measureSupplyDemand(c, p)
-	mIC := analytic.NewModel(demand, supplyIC)
-	mTC := analytic.NewModel(demand, supplyTC)
+	mIC := mustModel(demand, supplyIC)
+	mTC := mustModel(demand, supplyTC)
 
 	ta := &stats.Table{
 		Title:  fmt.Sprintf("Fig. 5-a: P(queue length), workload %s", fbWorkload),
@@ -127,7 +146,7 @@ func Fig5(c *Context) *Report {
 func Fig14(c *Context) *Report {
 	p := c.Prep(fbWorkload)
 	demand, supplyIC, _ := measureSupplyDemand(c, p)
-	model := analytic.NewModel(demand, supplyIC)
+	model := mustModel(demand, supplyIC)
 	theory := model.QueueDist(32)
 
 	var sim []float64

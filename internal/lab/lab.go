@@ -323,6 +323,28 @@ func (l *Lab) RunPrepared(ctx context.Context, p *Prepared, cfg Config, budget u
 	return newRunResult(p.W.Name, cfg, budget, res), nil
 }
 
+// FrontendProfile measures the Appendix B demand and I-cache supply
+// distributions of a workload at the given budget (0 uses the lab
+// default): demand under a perfect frontend, supply under an infinite
+// backend. The tier package's calibrator runs this once per workload at
+// a short calibration budget to parameterize its analytic estimator.
+func (l *Lab) FrontendProfile(ctx context.Context, workload string, budget uint64) (demand, supply []float64, err error) {
+	p, err := l.Prepare(ctx, workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if budget == 0 {
+		budget = l.c.Budget
+	}
+	err = l.guarded(ctx, func(c *exp.Context) {
+		demand, supply, _ = exp.MeasureSupplyDemand(c, p, budget)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return demand, supply, nil
+}
+
 // CoreIPC runs a standalone single core with an arbitrary pipeline
 // configuration on prepared material (the SMT / wide-vs-half studies)
 // and returns its IPC.

@@ -33,8 +33,14 @@ import (
 // regenerates) every existing entry.
 const Version = 1
 
-// magic identifies a prep-cache file.
-var magic = [4]byte{'R', '3', 'P', 'C'}
+// magic identifies a prep-cache file; blobMagic identifies a generic
+// blob entry (StoreBlob/LoadBlob), so the two kinds can never be
+// confused for one another even if their keys collide after
+// sanitization.
+var (
+	magic     = [4]byte{'R', '3', 'P', 'C'}
+	blobMagic = [4]byte{'R', '3', 'P', 'B'}
+)
 
 // Cache is a directory of serialized preparation entries. The zero value
 // is not usable; call New. A Cache is safe for concurrent use by multiple
@@ -103,7 +109,7 @@ func Fingerprint(progs ...*isa.Program) uint64 {
 // path maps a key to its file, sanitized so keys never escape the cache
 // directory. Collisions after sanitization are harmless: the exact key is
 // embedded in the header and verified on load.
-func (c *Cache) path(key string) string {
+func (c *Cache) path(key, suffix string) string {
 	clean := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
@@ -112,7 +118,72 @@ func (c *Cache) path(key string) string {
 		}
 		return '_'
 	}, key)
-	return filepath.Join(c.dir, clean+".prep")
+	return filepath.Join(c.dir, clean+suffix)
+}
+
+// encodeFrame wraps body in the on-disk framing shared by prep entries
+// and blobs: magic | version | fingerprint | keyLen | key | bodyLen |
+// FNV-1a(body) | body.
+func encodeFrame(kind [4]byte, key string, fingerprint uint64, body []byte) []byte {
+	var f bytes.Buffer
+	f.Write(kind[:])
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	f.Write(u32[:])
+	binary.LittleEndian.PutUint64(u64[:], fingerprint)
+	f.Write(u64[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(key)))
+	f.Write(u32[:])
+	f.WriteString(key)
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(body)))
+	f.Write(u64[:])
+	sum := fnv.New64a()
+	sum.Write(body)
+	binary.LittleEndian.PutUint64(u64[:], sum.Sum64())
+	f.Write(u64[:])
+	f.Write(body)
+	return f.Bytes()
+}
+
+// decodeFrame validates raw against (kind, key, fingerprint) and returns
+// the framed body. Any anomaly — wrong magic or version, key or
+// fingerprint mismatch, truncation, checksum failure — is ok=false.
+func decodeFrame(kind [4]byte, key string, fingerprint uint64, raw []byte) (body []byte, ok bool) {
+	const fixed = 4 + 4 + 8 + 4 // magic, version, fingerprint, keyLen
+	if len(raw) < fixed {
+		return nil, false
+	}
+	if !bytes.Equal(raw[:4], kind[:]) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != Version {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint64(raw[8:16]) != fingerprint {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[16:20]))
+	rest := raw[20:]
+	if keyLen < 0 || len(rest) < keyLen+16 {
+		return nil, false
+	}
+	if string(rest[:keyLen]) != key {
+		return nil, false
+	}
+	rest = rest[keyLen:]
+	bodyLen := binary.LittleEndian.Uint64(rest[:8])
+	wantSum := binary.LittleEndian.Uint64(rest[8:16])
+	body = rest[16:]
+	if uint64(len(body)) != bodyLen {
+		return nil, false
+	}
+	sum := fnv.New64a()
+	sum.Write(body)
+	if sum.Sum64() != wantSum {
+		return nil, false
+	}
+	return body, true
 }
 
 // Store serializes (prof, set) under key, guarded by the fingerprint of
@@ -126,28 +197,10 @@ func (c *Cache) Store(key string, train, eval *isa.Program, prof *core.Profile, 
 		return fmt.Errorf("prepcache: encode %s: %w", key, err)
 	}
 
-	var f bytes.Buffer
-	f.Write(magic[:])
-	var u32 [4]byte
-	var u64 [8]byte
-	binary.LittleEndian.PutUint32(u32[:], Version)
-	f.Write(u32[:])
-	binary.LittleEndian.PutUint64(u64[:], Fingerprint(train, eval))
-	f.Write(u64[:])
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(key)))
-	f.Write(u32[:])
-	f.WriteString(key)
-	binary.LittleEndian.PutUint64(u64[:], uint64(body.Len()))
-	f.Write(u64[:])
-	sum := fnv.New64a()
-	sum.Write(body.Bytes())
-	binary.LittleEndian.PutUint64(u64[:], sum.Sum64())
-	f.Write(u64[:])
-	f.Write(body.Bytes())
-
+	frame := encodeFrame(magic, key, Fingerprint(train, eval), body.Bytes())
 	// atomicio carries the full durability ceremony: pid-unique temp file,
 	// fsync before rename, parent-directory fsync after.
-	if err := atomicio.WriteFile(c.path(key), f.Bytes(), 0o644, c.faults, faultinject.PrepCacheStore); err != nil {
+	if err := atomicio.WriteFile(c.path(key, ".prep"), frame, 0o644, c.faults, faultinject.PrepCacheStore); err != nil {
 		return fmt.Errorf("prepcache: write %s: %w", key, err)
 	}
 	return nil
@@ -168,41 +221,12 @@ func (c *Cache) Load(key string, train, eval *isa.Program) (prof *core.Profile, 
 			return nil, nil, false // injected read fault = silent miss
 		}
 	}
-	raw, err := os.ReadFile(c.path(key))
+	raw, err := os.ReadFile(c.path(key, ".prep"))
 	if err != nil {
 		return nil, nil, false
 	}
-	const fixed = 4 + 4 + 8 + 4 // magic, version, fingerprint, keyLen
-	if len(raw) < fixed {
-		return nil, nil, false
-	}
-	if !bytes.Equal(raw[:4], magic[:]) {
-		return nil, nil, false
-	}
-	if binary.LittleEndian.Uint32(raw[4:8]) != Version {
-		return nil, nil, false
-	}
-	if binary.LittleEndian.Uint64(raw[8:16]) != Fingerprint(train, eval) {
-		return nil, nil, false
-	}
-	keyLen := int(binary.LittleEndian.Uint32(raw[16:20]))
-	rest := raw[20:]
-	if keyLen < 0 || len(rest) < keyLen+16 {
-		return nil, nil, false
-	}
-	if string(rest[:keyLen]) != key {
-		return nil, nil, false
-	}
-	rest = rest[keyLen:]
-	bodyLen := binary.LittleEndian.Uint64(rest[:8])
-	wantSum := binary.LittleEndian.Uint64(rest[8:16])
-	body := rest[16:]
-	if uint64(len(body)) != bodyLen {
-		return nil, nil, false
-	}
-	sum := fnv.New64a()
-	sum.Write(body)
-	if sum.Sum64() != wantSum {
+	body, ok := decodeFrame(magic, key, Fingerprint(train, eval), raw)
+	if !ok {
 		return nil, nil, false
 	}
 	var p payload
@@ -214,4 +238,37 @@ func (c *Cache) Load(key string, train, eval *isa.Program) (prof *core.Profile, 
 	}
 	p.Set.Prog = eval
 	return p.Prof, p.Set, true
+}
+
+// StoreBlob persists an opaque body under key, guarded by an arbitrary
+// caller-supplied fingerprint. Blobs share the prep entries' framing,
+// atomicity, and corruption tolerance but use their own magic and file
+// suffix, so the two namespaces never collide. The tier package uses
+// blobs to persist per-workload calibration profiles.
+func (c *Cache) StoreBlob(key string, fingerprint uint64, body []byte) error {
+	frame := encodeFrame(blobMagic, key, fingerprint, body)
+	if err := atomicio.WriteFile(c.path(key, ".blob"), frame, 0o644, c.faults, faultinject.PrepCacheStore); err != nil {
+		return fmt.Errorf("prepcache: write blob %s: %w", key, err)
+	}
+	return nil
+}
+
+// LoadBlob reads the blob stored under key, validating it against
+// fingerprint. Like Load, every anomaly is a miss (ok=false), never an
+// error.
+func (c *Cache) LoadBlob(key string, fingerprint uint64) (body []byte, ok bool) {
+	if c.faults != nil {
+		o := c.faults.At(faultinject.PrepCacheLoad)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return nil, false // injected read fault = silent miss
+		}
+	}
+	raw, err := os.ReadFile(c.path(key, ".blob"))
+	if err != nil {
+		return nil, false
+	}
+	return decodeFrame(blobMagic, key, fingerprint, raw)
 }

@@ -171,7 +171,7 @@ func TestKeyMismatchIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(c.path(otherKey), raw, 0o644); err != nil {
+	if err := os.WriteFile(c.path(otherKey, ".prep"), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := c.Load(otherKey, f.train, f.eval); ok {
@@ -244,7 +244,7 @@ func TestPathSanitizesKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := c.path("../../evil/../key@1")
+	p := c.path("../../evil/../key@1", ".prep")
 	if filepath.Dir(p) != c.Dir() {
 		t.Fatalf("sanitized path %q escapes the cache directory", p)
 	}
@@ -312,5 +312,67 @@ func TestConcurrentWritersRoundTrip(t *testing.T) {
 	got := runResults(f, prof, set)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("artifacts surviving the write race diverge:\nwant MT=%+v\ngot  MT=%+v", want.MT, got.MT)
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("calibration payload \x00\x01\x02")
+	const key, fp = "tiercal-mcf@2000", 0xdeadbeefcafef00d
+	if _, ok := c.LoadBlob(key, fp); ok {
+		t.Fatal("blob hit before any store")
+	}
+	if err := c.StoreBlob(key, fp, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.LoadBlob(key, fp)
+	if !ok {
+		t.Fatal("blob miss after store")
+	}
+	if !reflect.DeepEqual(got, body) {
+		t.Fatalf("blob body mangled: got %q want %q", got, body)
+	}
+	// A fingerprint change (a rebuilt workload) must read as a miss.
+	if _, ok := c.LoadBlob(key, fp+1); ok {
+		t.Fatal("blob hit under the wrong fingerprint")
+	}
+	// Blobs and prep entries live in separate namespaces even when the
+	// keys coincide: neither reads the other's file.
+	if _, _, ok := c.Load(key, nil, nil); ok {
+		t.Fatal("prep Load read a blob entry")
+	}
+}
+
+func TestBlobCorruptionIsMiss(t *testing.T) {
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key, fp = "tiercal-bzip2@1000", uint64(42)
+	if err := c.StoreBlob(key, fp, []byte("twelve bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key, ".blob")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the body: the checksum must catch it.
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadBlob(key, fp); ok {
+		t.Fatal("corrupted blob read as a hit")
+	}
+	// Truncation too.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadBlob(key, fp); ok {
+		t.Fatal("truncated blob read as a hit")
 	}
 }

@@ -59,9 +59,15 @@ type Result struct {
 	Quarantined int `json:"quarantined,omitempty"`
 }
 
-// CellResult pairs one cell with its simulation outcome.
+// CellResult pairs one cell with its simulation outcome. Tier records
+// the result's provenance explicitly (TierCycle for cycle-accurate
+// simulation, TierAnalytic/TierMC for estimates) — consumers must never
+// infer fidelity from Budget or any other result field. The empty cycle
+// tier is omitted from JSON, so pre-tier outputs are unchanged byte for
+// byte.
 type CellResult struct {
 	Cell
+	Tier   string         `json:"tier,omitempty"`
 	Result *lab.RunResult `json:"result"`
 }
 
@@ -103,6 +109,10 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 	var err error
 	if opts.Resume && opts.Journal == "" {
 		return nil, fmt.Errorf("%w: resume requires a journal path", lab.ErrInvalid)
+	}
+	tier, err := TierOf(spec.Fidelity)
+	if err != nil {
+		return nil, err
 	}
 
 	journaled := map[string]*lab.RunResult{}
@@ -161,7 +171,7 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 		// order (the NDJSON stream's done field must never regress).
 		mu.Lock()
 		defer mu.Unlock()
-		res.Cells[i] = CellResult{Cell: cells[i], Result: r}
+		res.Cells[i] = CellResult{Cell: cells[i], Tier: tier, Result: r}
 		done++
 		if opts.Progress != nil {
 			opts.Progress(Event{
@@ -172,7 +182,10 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 	}
 
 	for i := range cells {
-		if r, ok := journaled[cells[i].Key]; ok {
+		// Journal lookups and appends go through the tier-tagged key, so
+		// one journal can checkpoint the same cell at several fidelities
+		// (the dse ladder's rungs) without cross-tier collisions.
+		if r, ok := journaled[journalKey(tier, cells[i].Key)]; ok {
 			res.Resumed++
 			complete(i, r, true, 0)
 			continue
@@ -191,7 +204,7 @@ func RunCells(ctx context.Context, l Runner, spec Spec, cells []Cell, opts Optio
 				return
 			}
 			if jw != nil {
-				if err := jw.append(cells[i].Key, r); err != nil {
+				if err := jw.append(journalKey(tier, cells[i].Key), r); err != nil {
 					fail(err)
 					return
 				}

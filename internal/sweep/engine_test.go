@@ -3,9 +3,11 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -216,5 +218,113 @@ func TestSweepSharesResultCache(t *testing.T) {
 func TestSweepResumeRequiresJournal(t *testing.T) {
 	if _, err := Run(context.Background(), newTestLab(t, 1), testSpec(), Options{Resume: true}); !errors.Is(err, lab.ErrInvalid) {
 		t.Fatalf("resume without journal: %v", err)
+	}
+}
+
+// TestSweepTierProvenance pins the explicit-provenance contract: an
+// estimator-fidelity sweep stamps every CellResult with its tier, tags
+// its journal keys with the tier, and resumes from those tagged keys —
+// while a cycle sweep over the same cells keeps untagged keys and an
+// empty (JSON-omitted) tier, so pre-tier journals and outputs are
+// unchanged.
+func TestSweepTierProvenance(t *testing.T) {
+	l := newTestLab(t, 4)
+	spec := testSpec()
+	spec.Fidelity = "analytic"
+	journal := filepath.Join(t.TempDir(), "tier.ndjson")
+
+	tiers := &TierRunners{Lab: l}
+	runner, err := tiers.Runner(spec.Fidelity, spec.Budget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), runner, spec, Options{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Tier != TierAnalytic {
+			t.Fatalf("cell %s carries tier %q, want %q", c.Key, c.Tier, TierAnalytic)
+		}
+	}
+
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if !strings.Contains(line, `"key":"analytic!`) {
+			t.Fatalf("journal line missing tier tag: %s", line)
+		}
+	}
+
+	// Resume restores every cell from the tagged keys without re-running.
+	resumed, err := Run(context.Background(), runner, spec, Options{Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != len(resumed.Cells) {
+		t.Fatalf("resumed %d of %d cells", resumed.Resumed, len(resumed.Cells))
+	}
+	a, b := renderAll(t, res), renderAll(t, resumed)
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed analytic sweep output differs from the uninterrupted run")
+	}
+
+	// A cycle sweep over the same journal must NOT hit the analytic
+	// checkpoints: its (untagged) keys miss, and its results stay
+	// tier-less on the wire.
+	cycle := testSpec()
+	cres, err := Run(context.Background(), l, cycle, Options{Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Resumed != 0 {
+		t.Fatalf("cycle sweep resumed %d cells from analytic checkpoints", cres.Resumed)
+	}
+	enc, err := json.Marshal(cres.Cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), `"tier"`) {
+		t.Fatalf("cycle-tier cell serializes a tier field: %s", enc)
+	}
+}
+
+// TestSweepFidelityValidation rejects unknown fidelity values at spec
+// validation time.
+func TestSweepFidelityValidation(t *testing.T) {
+	spec := testSpec()
+	spec.Fidelity = "quantum"
+	if _, err := spec.Expand(); !errors.Is(err, lab.ErrInvalid) {
+		t.Fatalf("fidelity %q: error %v, want ErrInvalid", spec.Fidelity, err)
+	}
+}
+
+// TestTierRunnersDeterministic: the handler-side runner factory must
+// hand out estimators whose results match a freshly-built tier runner's
+// (shared calibrators change cost, never results).
+func TestTierRunnersDeterministic(t *testing.T) {
+	l := newTestLab(t, 2)
+	tiers := &TierRunners{Lab: l}
+	r1, err := tiers.Runner("mc", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tiers.Runner("mc", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := lab.RunRequest{Workload: "mcf", Config: lab.ConfigSpec{Preset: "r3"}, Budget: 2000}
+	a, err := r1.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runners from one factory disagree:\n%+v\n%+v", a, b)
 	}
 }

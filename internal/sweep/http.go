@@ -10,6 +10,7 @@ import (
 
 	"r3dla/internal/exp"
 	"r3dla/internal/lab"
+	"r3dla/internal/tier"
 )
 
 // Gate is the slice of the r3dlad server a sweep handler shares: request
@@ -44,6 +45,7 @@ type StreamLine struct {
 // like runs; the server journals nothing — cross-request reuse comes from
 // the Lab's singleflight result cache instead.
 func NewHandler(l *lab.Lab, g Gate) http.Handler {
+	tiers := &TierRunners{Lab: l}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
@@ -93,7 +95,13 @@ func NewHandler(l *lab.Lab, g Gate) http.Handler {
 			}
 		}
 
-		res, err := RunCells(r.Context(), l, spec, cells, Options{
+		runner, err := tiers.Runner(spec.Fidelity, spec.Budget, 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		res, err := RunCells(r.Context(), runner, spec, cells, Options{
 			Progress: func(ev Event) {
 				c := ev.Cell
 				emit(StreamLine{
@@ -111,6 +119,51 @@ func NewHandler(l *lab.Lab, g Gate) http.Handler {
 		}
 		emit(StreamLine{Event: "result", Result: res.Report()})
 	})
+}
+
+// TierRunners resolves fidelity names to Runners over one Lab, sharing
+// calibrators across requests so a server calibrates each (workload,
+// calibration-budget) pair once, not once per request. Both the sweep
+// and the explore handlers hold one.
+type TierRunners struct {
+	Lab *lab.Lab
+
+	mu   sync.Mutex
+	cals map[uint64]*tier.Calibrator
+}
+
+// Runner returns the Runner for a fidelity name: the Lab itself for the
+// cycle tier, a calibrated estimator otherwise. budget is the per-cell
+// budget (it sizes the calibration run); seed fixes the Monte-Carlo
+// tier's sampling streams.
+func (t *TierRunners) Runner(fidelity string, budget uint64, seed uint64) (Runner, error) {
+	tr, err := TierOf(fidelity)
+	if err != nil {
+		return nil, err
+	}
+	if tr == TierCycle {
+		return t.Lab, nil
+	}
+	cal := t.calibrator(budget)
+	if tr == TierAnalytic {
+		return tier.NewAnalyticRunner(cal), nil
+	}
+	return tier.NewMonteCarloRunner(cal, seed), nil
+}
+
+func (t *TierRunners) calibrator(budget uint64) *tier.Calibrator {
+	cb := tier.CalibBudgetFor(budget)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cals == nil {
+		t.cals = make(map[uint64]*tier.Calibrator)
+	}
+	c := t.cals[cb]
+	if c == nil {
+		c = tier.NewCalibrator(t.Lab, cb, nil)
+		t.cals[cb] = c
+	}
+	return c
 }
 
 // writeError mirrors the lab server's error body shape.

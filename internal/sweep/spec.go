@@ -48,6 +48,13 @@ type Spec struct {
 
 	// Axes are the dimensions to vary.
 	Axes Axes `json:"axes"`
+
+	// Fidelity selects the evaluation tier for every cell: "" or "cycle"
+	// for the cycle-accurate simulator, "analytic" for the Markov
+	// fetch-buffer estimator, "mc" for the Monte-Carlo sampling tier
+	// (see internal/tier). Estimated results carry their tier in the
+	// output and in journal keys.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Axes lists the values to sweep per configuration field. Each non-empty
@@ -263,6 +270,9 @@ type Enum struct {
 func (s Spec) Enumerate() (*Enum, error) {
 	wls, err := resolveWorkloads(s.Workloads)
 	if err != nil {
+		return nil, err
+	}
+	if _, err := TierOf(s.Fidelity); err != nil {
 		return nil, err
 	}
 	axes := s.Axes.Active()

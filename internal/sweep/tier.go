@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"fmt"
+
+	"r3dla/internal/lab"
+)
+
+// Evaluation tiers. The tier names a Result's provenance: which kind of
+// runner produced each cell. The cycle-accurate tier is the empty string
+// so that every pre-tier Result, journal and report remains byte-for-byte
+// valid — tier tags only ever appear for estimated results.
+const (
+	TierCycle    = ""         // cycle-accurate simulation (the default)
+	TierAnalytic = "analytic" // Markov fetch-buffer model (internal/tier)
+	TierMC       = "mc"       // Monte-Carlo sampling tier (internal/tier)
+)
+
+// TierOf canonicalizes a spec's fidelity field to a tier constant:
+// "" and "cycle" are the cycle-accurate tier, "analytic" and "mc" the
+// estimator tiers. Anything else is a validation error.
+func TierOf(fidelity string) (string, error) {
+	switch fidelity {
+	case "", "cycle":
+		return TierCycle, nil
+	case TierAnalytic:
+		return TierAnalytic, nil
+	case TierMC:
+		return TierMC, nil
+	}
+	return "", fmt.Errorf("%w: fidelity %q (want cycle, analytic or mc)", lab.ErrInvalid, fidelity)
+}
+
+// journalKey tags a cell's canonical key with its tier, so one journal
+// can hold the same cell evaluated at several fidelities without the
+// tiers colliding on resume. Cycle-accurate keys stay untagged — every
+// existing journal remains a valid cycle-tier journal.
+func journalKey(tier, key string) string {
+	if tier == TierCycle {
+		return key
+	}
+	return tier + "!" + key
+}

@@ -1,0 +1,99 @@
+package tier
+
+import (
+	"context"
+	"sync"
+
+	"r3dla/internal/analytic"
+	"r3dla/internal/lab"
+)
+
+// AnalyticRunner estimates RunResults through the Appendix B Markov
+// fetch-buffer model: the cell's effective fetch-queue capacity is priced
+// by the chain's expected bubble rate, scaled off the preset's
+// cycle-accurate anchor, with structural deltas priced by closed-form
+// factors. A Run costs one steady-state solve (memoized per workload ×
+// capacity), so the full 10^5-cell rung of a ladder explore is cheaper
+// than a single cycle-accurate cell.
+//
+// Results are pure functions of (workload, config, budget) and the
+// calibration, so they are deterministic and order-independent under any
+// concurrency.
+type AnalyticRunner struct {
+	cal *Calibrator
+
+	mu  sync.Mutex
+	eff map[effKey]float64
+}
+
+type effKey struct {
+	workload string
+	capacity int
+}
+
+// NewAnalyticRunner builds the analytic tier over a calibrator.
+func NewAnalyticRunner(c *Calibrator) *AnalyticRunner {
+	return &AnalyticRunner{cal: c, eff: make(map[effKey]float64)}
+}
+
+// Run satisfies the sweep engine's Runner contract.
+func (r *AnalyticRunner) Run(ctx context.Context, req lab.RunRequest) (*lab.RunResult, error) {
+	cfg, err := req.Config.Config()
+	if err != nil {
+		return nil, err
+	}
+	cal, err := r.cal.Get(ctx, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = r.cal.l.Budget()
+	}
+
+	opt := cfg.SystemOptions()
+	ref := presetOptions(cfg.Preset())
+	anchor := cal.Anchors[cfg.Preset()]
+
+	ipc := anchor.IPC
+	// Frontend: the Markov chain prices the cell's fetch-queue depth
+	// relative to the depth the anchor ran with (this is where the fetch
+	// buffer feature and FetchBufSize sizing show up).
+	fCell := r.frontendEff(cal, capacityOf(opt))
+	fRef := r.frontendEff(cal, capacityOf(ref))
+	if fRef > 0 {
+		ipc *= fCell / fRef
+	}
+	ipc *= structureFactor(opt, ref, cal.Spread(), anchor)
+	return synthesize(req.Workload, cfg, budget, ipc, anchor), nil
+}
+
+// frontendEff is the modeled fraction of decode demand the fetch queue
+// satisfies at the given capacity: 1 − E[bubbles]/E[demand], floored so a
+// divergent or degenerate model never zeroes an estimate. Memoized — the
+// steady-state solve is the only non-trivial arithmetic in this tier.
+func (r *AnalyticRunner) frontendEff(cal *Calibration, capacity int) float64 {
+	key := effKey{cal.Workload, capacity}
+	r.mu.Lock()
+	if v, ok := r.eff[key]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+
+	v := 1.0
+	if m, err := analytic.NewModel(cal.Demand, cal.Supply); err == nil {
+		var meanD float64
+		for j, p := range m.D {
+			meanD += float64(j) * p
+		}
+		if meanD > 0 {
+			v = clamp(1-m.ExpectedBubbles(capacity)/meanD, 0.05, 1)
+		}
+	}
+
+	r.mu.Lock()
+	r.eff[key] = v
+	r.mu.Unlock()
+	return v
+}
